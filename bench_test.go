@@ -1,0 +1,220 @@
+package elisa
+
+// One benchmark per paper table/figure (plus the ablations). Each bench
+// runs the corresponding experiment kernel and reports the *simulated*
+// figure of merit via b.ReportMetric — wall-clock ns/op measures the
+// simulator, the sim_* metrics reproduce the paper:
+//
+//	go test -bench=. -benchmem
+//
+// The full-fidelity sweeps live in cmd/elisa-bench; benches use quick
+// mode so the whole suite finishes in minutes.
+
+import (
+	"testing"
+
+	"github.com/elisa-go/elisa/internal/experiments"
+)
+
+// BenchmarkTable2RoundTripELISA reproduces Table 2, row "ELISA":
+// the exit-less call round trip (paper: 196 ns).
+func BenchmarkTable2RoundTripELISA(b *testing.B) {
+	var rtt int64
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.MeasureELISARoundTrip(200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rtt = int64(d)
+	}
+	b.ReportMetric(float64(rtt), "sim_ns/call")
+}
+
+// BenchmarkTable2RoundTripVMCALL reproduces Table 2, row "VMCALL"
+// (paper: 699 ns).
+func BenchmarkTable2RoundTripVMCALL(b *testing.B) {
+	var rtt int64
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.MeasureVMCallRoundTrip(200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rtt = int64(d)
+	}
+	b.ReportMetric(float64(rtt), "sim_ns/call")
+}
+
+// BenchmarkTable3Breakdown reproduces the ELISA call component breakdown.
+func BenchmarkTable3Breakdown(b *testing.B) {
+	runExperiment(b, "table3")
+}
+
+// BenchmarkTable1Properties re-derives the qualitative Table 1.
+func BenchmarkTable1Properties(b *testing.B) {
+	runExperiment(b, "table1")
+}
+
+// BenchmarkFigKVGet reproduces the KV GET scaling figure; the reported
+// metric is aggregate Mops at 8 VMs for ELISA.
+func BenchmarkFigKVGet(b *testing.B) {
+	benchKV(b, false)
+}
+
+// BenchmarkFigKVPut reproduces the KV PUT scaling figure.
+func BenchmarkFigKVPut(b *testing.B) {
+	benchKV(b, true)
+}
+
+func benchKV(b *testing.B, put bool) {
+	var mops8 float64
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.RunKVSweep(experiments.Config{Quick: true}, put)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range points {
+			if p.Scheme == "elisa" && p.VMs == 8 {
+				mops8 = p.AggMops
+			}
+		}
+	}
+	b.ReportMetric(mops8, "sim_Mops_elisa_8vm")
+}
+
+// BenchmarkFigNetRX reproduces the RX-over-NIC figure; metric: ELISA
+// Mpps at 64 B.
+func BenchmarkFigNetRX(b *testing.B) { benchNet(b, "rx") }
+
+// BenchmarkFigNetTX reproduces the TX-over-NIC figure.
+func BenchmarkFigNetTX(b *testing.B) { benchNet(b, "tx") }
+
+// BenchmarkFigNetVMtoVM reproduces the VM-to-VM figure.
+func BenchmarkFigNetVMtoVM(b *testing.B) { benchNet(b, "vv") }
+
+func benchNet(b *testing.B, scenario string) {
+	var mpps64 float64
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.RunNetSweep(experiments.Config{Quick: true}, scenario)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range points {
+			if p.Scheme == "elisa" && p.Size == 64 {
+				mpps64 = p.Mpps
+			}
+		}
+	}
+	b.ReportMetric(mpps64, "sim_Mpps_elisa_64B")
+}
+
+// BenchmarkFigMemcached reproduces the latency-throughput figure; metric:
+// ELISA server capacity in Kreq/s.
+func BenchmarkFigMemcached(b *testing.B) {
+	var capKRPS float64
+	for i := 0; i < b.N; i++ {
+		curves, err := experiments.RunMemcachedSweep(experiments.Config{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range curves {
+			if c.Scheme == "elisa" {
+				capKRPS = c.Capacity
+			}
+		}
+	}
+	b.ReportMetric(capKRPS, "sim_Kreq/s_elisa")
+}
+
+// BenchmarkAblationBatch reproduces the batch-size ablation.
+func BenchmarkAblationBatch(b *testing.B) {
+	runExperiment(b, "ablation_batch")
+}
+
+// BenchmarkAblationContexts reproduces the sub-context scalability
+// ablation.
+func BenchmarkAblationContexts(b *testing.B) {
+	runExperiment(b, "ablation_contexts")
+}
+
+// BenchmarkAblationNegotiation reproduces the attach-cost ablation.
+func BenchmarkAblationNegotiation(b *testing.B) {
+	runExperiment(b, "ablation_negotiation")
+}
+
+// BenchmarkAblationTLB reproduces the tagged-vs-flushing TLB ablation.
+func BenchmarkAblationTLB(b *testing.B) {
+	runExperiment(b, "ablation_tlb")
+}
+
+// BenchmarkAblationCallMulti reproduces the batched-call extension
+// ablation.
+func BenchmarkAblationCallMulti(b *testing.B) {
+	runExperiment(b, "ablation_callmulti")
+}
+
+// BenchmarkExtConsolidation reproduces the NIC-sharing consolidation
+// extension.
+func BenchmarkExtConsolidation(b *testing.B) {
+	runExperiment(b, "ext_consolidation")
+}
+
+// BenchmarkExtMemory reproduces the memory-footprint accounting.
+func BenchmarkExtMemory(b *testing.B) {
+	runExperiment(b, "ext_memory")
+}
+
+// BenchmarkExtHugepages reproduces the 2MiB-mapping extension.
+func BenchmarkExtHugepages(b *testing.B) {
+	runExperiment(b, "ext_hugepages")
+}
+
+func runExperiment(b *testing.B, id string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %q missing", id)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(experiments.Config{Quick: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExitlessCallDataPath measures the library's hot path directly:
+// a no-op ELISA call on a warm system (wall-clock ns/op measures the
+// simulator's own overhead per simulated call).
+func BenchmarkExitlessCallDataPath(b *testing.B) {
+	sys, err := NewSystem(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const fn = 7
+	if err := sys.Manager().RegisterFunc(fn, func(*CallContext) (uint64, error) { return 0, nil }); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.Manager().CreateObject("bench", PageSize); err != nil {
+		b.Fatal(err)
+	}
+	g, err := sys.NewGuestVM("bench-guest", 16*PageSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := g.Attach("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := g.VCPU()
+	if _, err := h.Call(v, fn); err != nil {
+		b.Fatal(err)
+	}
+	start := v.Clock().Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Call(v, fn); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	simPer := float64(v.Clock().Elapsed(start)) / float64(b.N)
+	b.ReportMetric(simPer, "sim_ns/call")
+}

@@ -1,0 +1,80 @@
+// Command elisa-bench regenerates the paper's tables and figures on the
+// simulated machine.
+//
+// Usage:
+//
+//	elisa-bench -list
+//	elisa-bench table2 fig_net_rx
+//	elisa-bench -quick all
+//	elisa-bench -markdown all > results.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/elisa-go/elisa/internal/experiments"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		quick    = flag.Bool("quick", false, "shrink operation counts (noisier tails, same shapes)")
+		markdown = flag.Bool("markdown", false, "emit GitHub-flavoured markdown")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] <experiment-id>... | all\n\nflags:\n", os.Args[0])
+		flag.PrintDefaults()
+		fmt.Fprintf(os.Stderr, "\nexperiments:\n")
+		for _, e := range experiments.All() {
+			fmt.Fprintf(os.Stderr, "  %-22s %s\n", e.ID, e.Title)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-22s %s\n\t\tpaper: %s\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = experiments.IDs()
+	}
+
+	cfg := experiments.Config{Quick: *quick}
+	failed := false
+	for _, id := range ids {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "elisa-bench: unknown experiment %q (try -list)\n", id)
+			failed = true
+			continue
+		}
+		start := time.Now()
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "elisa-bench: %s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		if *markdown {
+			fmt.Println(tbl.Markdown())
+			fmt.Printf("*paper: %s — ran in %v*\n\n", e.Paper, time.Since(start).Round(time.Millisecond))
+		} else {
+			fmt.Print(tbl.String())
+			fmt.Printf("paper: %s\n(ran in %v)\n\n", e.Paper, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

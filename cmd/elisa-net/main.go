@@ -1,0 +1,89 @@
+// Command elisa-net runs the HyperNF-style VM networking use case
+// (paper §7.1) for one scheme/scenario/packet-size combination, or the
+// full sweep.
+//
+// Usage:
+//
+//	elisa-net -scenario rx -scheme elisa -size 64
+//	elisa-net -scenario vv -sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/elisa-go/elisa/internal/stats"
+	"github.com/elisa-go/elisa/internal/vnet"
+	"github.com/elisa-go/elisa/internal/workload"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "rx", "rx | tx | vv (VM-to-VM)")
+		scheme   = flag.String("scheme", "elisa", "ivshmem | vmcall | elisa | vhost-net | sriov")
+		size     = flag.Int("size", 64, "packet size in bytes")
+		packets  = flag.Int("packets", 10000, "packets to move")
+		sweep    = flag.Bool("sweep", false, "run every scheme and packet size")
+	)
+	flag.Parse()
+	if err := run(*scenario, *scheme, *size, *packets, *sweep); err != nil {
+		fmt.Fprintln(os.Stderr, "elisa-net:", err)
+		os.Exit(1)
+	}
+}
+
+func measure(scenario, scheme string, size, packets int) (*vnet.Result, error) {
+	switch scenario {
+	case "rx":
+		_, nic, b, err := vnet.BuildBackend(scheme)
+		if err != nil {
+			return nil, err
+		}
+		return vnet.RunRX(nic, b, size, packets)
+	case "tx":
+		_, nic, b, err := vnet.BuildBackend(scheme)
+		if err != nil {
+			return nil, err
+		}
+		return vnet.RunTX(nic, b, size, packets)
+	case "vv":
+		p, err := vnet.BuildVVPath(scheme)
+		if err != nil {
+			return nil, err
+		}
+		return vnet.RunVV(p, size, packets)
+	default:
+		return nil, fmt.Errorf("unknown scenario %q", scenario)
+	}
+}
+
+func run(scenario, scheme string, size, packets int, sweep bool) error {
+	if !sweep {
+		res, err := measure(scenario, scheme, size, packets)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s %s %dB: %.2f Mpps (%d packets in %v simulated)\n",
+			scheme, scenario, size, res.Mpps, res.Packets, res.Elapsed)
+		return nil
+	}
+	headers := []string{"Scheme"}
+	for _, s := range workload.PacketSizes {
+		headers = append(headers, fmt.Sprintf("%dB", s))
+	}
+	t := stats.NewTable(fmt.Sprintf("VM networking %s sweep [Mpps]", scenario), headers...)
+	for _, sch := range vnet.Schemes {
+		row := []any{sch}
+		for _, sz := range workload.PacketSizes {
+			res, err := measure(scenario, sch, sz, packets)
+			if err != nil {
+				return err
+			}
+			row = append(row, res.Mpps)
+		}
+		t.AddRow(row...)
+	}
+	fmt.Print(t.String())
+	return nil
+}

@@ -1,0 +1,50 @@
+// Network forwarding example: the paper's §7.1 use case as an
+// application — packets flow from VM A to VM B through each backend, and
+// from the wire into a guest, demonstrating the exit-less data path and
+// reproducing the 64-byte ordering of the networking figures.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/elisa-go/elisa/internal/stats"
+	"github.com/elisa-go/elisa/internal/vnet"
+)
+
+func main() {
+	const packets = 5000
+
+	t := stats.NewTable("VM networking at 64B, "+fmt.Sprint(packets)+" packets",
+		"Scheme", "RX over NIC [Mpps]", "TX over NIC [Mpps]", "VM to VM [Mpps]")
+	for _, scheme := range vnet.Schemes {
+		_, nic, b, err := vnet.BuildBackend(scheme)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rx, err := vnet.RunRX(nic, b, 64, packets)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, nic2, b2, err := vnet.BuildBackend(scheme)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tx, err := vnet.RunTX(nic2, b2, 64, packets)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := vnet.BuildVVPath(scheme)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vv, err := vnet.RunVV(p, 64, packets)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(scheme, rx.Mpps, tx.Mpps, vv.Mpps)
+	}
+	t.AddNote("every payload byte moved through simulated physical memory and was integrity-checked")
+	t.AddNote("paper: ELISA +49%%/+54%%/+163%% over VMCALL for RX/TX/VM-to-VM")
+	fmt.Print(t.String())
+}

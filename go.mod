@@ -1,0 +1,3 @@
+module github.com/elisa-go/elisa
+
+go 1.22

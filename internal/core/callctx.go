@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/elisa-go/elisa/internal/mem"
+)
+
+// Bounds-checked accessors for manager functions. They all go through the
+// calling vCPU, i.e. through the sub context's EPT — the bounds checks are
+// a courtesy (clean errors instead of guard-page faults); the EPT is the
+// actual enforcement.
+
+// ReadObject copies object bytes at off into p.
+func (c *CallContext) ReadObject(off int, p []byte) error {
+	if off < 0 || off+len(p) > c.ObjectSize {
+		return fmt.Errorf("core: object read [%d,+%d) outside size %d", off, len(p), c.ObjectSize)
+	}
+	return c.VCPU.ReadGPA(c.Object+mem.GPA(off), p)
+}
+
+// WriteObject copies p into the object at off.
+func (c *CallContext) WriteObject(off int, p []byte) error {
+	if off < 0 || off+len(p) > c.ObjectSize {
+		return fmt.Errorf("core: object write [%d,+%d) outside size %d", off, len(p), c.ObjectSize)
+	}
+	return c.VCPU.WriteGPA(c.Object+mem.GPA(off), p)
+}
+
+// ObjectU64 loads a word from the object.
+func (c *CallContext) ObjectU64(off int) (uint64, error) {
+	if off < 0 || off+8 > c.ObjectSize {
+		return 0, fmt.Errorf("core: object u64 at %d outside size %d", off, c.ObjectSize)
+	}
+	return c.VCPU.ReadU64GPA(c.Object + mem.GPA(off))
+}
+
+// SetObjectU64 stores a word into the object.
+func (c *CallContext) SetObjectU64(off int, v uint64) error {
+	if off < 0 || off+8 > c.ObjectSize {
+		return fmt.Errorf("core: object u64 at %d outside size %d", off, c.ObjectSize)
+	}
+	return c.VCPU.WriteU64GPA(c.Object+mem.GPA(off), v)
+}
+
+// ReadExchange copies exchange-buffer bytes at off into p.
+func (c *CallContext) ReadExchange(off int, p []byte) error {
+	if off < 0 || off+len(p) > c.ExchangeSize {
+		return fmt.Errorf("core: exchange read [%d,+%d) outside size %d", off, len(p), c.ExchangeSize)
+	}
+	return c.VCPU.ReadGPA(c.Exchange+mem.GPA(off), p)
+}
+
+// WriteExchange copies p into the exchange buffer at off.
+func (c *CallContext) WriteExchange(off int, p []byte) error {
+	if off < 0 || off+len(p) > c.ExchangeSize {
+		return fmt.Errorf("core: exchange write [%d,+%d) outside size %d", off, len(p), c.ExchangeSize)
+	}
+	return c.VCPU.WriteGPA(c.Exchange+mem.GPA(off), p)
+}
+
+// CopyExchangeToObject moves n bytes from the exchange buffer into the
+// object in one charged copy (the common PUT/TX pattern).
+func (c *CallContext) CopyExchangeToObject(objOff, exOff, n int) error {
+	if exOff < 0 || exOff+n > c.ExchangeSize {
+		return fmt.Errorf("core: exchange range [%d,+%d) outside size %d", exOff, n, c.ExchangeSize)
+	}
+	if objOff < 0 || objOff+n > c.ObjectSize {
+		return fmt.Errorf("core: object range [%d,+%d) outside size %d", objOff, n, c.ObjectSize)
+	}
+	return c.VCPU.CopyGPAtoGPA(c.Object+mem.GPA(objOff), c.Exchange+mem.GPA(exOff), n)
+}
+
+// CopyObjectToExchange moves n bytes from the object into the exchange
+// buffer (the common GET/RX pattern).
+func (c *CallContext) CopyObjectToExchange(exOff, objOff, n int) error {
+	if exOff < 0 || exOff+n > c.ExchangeSize {
+		return fmt.Errorf("core: exchange range [%d,+%d) outside size %d", exOff, n, c.ExchangeSize)
+	}
+	if objOff < 0 || objOff+n > c.ObjectSize {
+		return fmt.Errorf("core: object range [%d,+%d) outside size %d", objOff, n, c.ObjectSize)
+	}
+	return c.VCPU.CopyGPAtoGPA(c.Exchange+mem.GPA(exOff), c.Object+mem.GPA(objOff), n)
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/elisa-go/elisa/internal/ept"
+	"github.com/elisa-go/elisa/internal/hv"
+	"github.com/elisa-go/elisa/internal/mem"
+	"github.com/elisa-go/elisa/internal/simtime"
+	"github.com/elisa-go/elisa/internal/trace"
+)
+
+// ensureGuest lazily builds a guest's ELISA plumbing on first attach:
+// VMFUNC controls, the gate code mapping in the default context, the gate
+// EPT context, and the per-guest ELISA stack. This is the manager half of
+// the negotiation slow path.
+func (m *Manager) ensureGuest(guest *hv.VM) (*guestState, error) {
+	if gs, ok := m.guests[guest.ID()]; ok {
+		return gs, nil
+	}
+	if guest == m.vm {
+		return nil, fmt.Errorf("core: the manager VM does not attach to itself")
+	}
+	list, err := m.hv.EnableVMFunc(guest)
+	if err != nil {
+		return nil, err
+	}
+	// The gate page appears in the guest's default context (that is
+	// where calls start) at a guest-chosen window address, executable
+	// but not writable: the guest runs the gate, never edits it.
+	gateGPA := guest.AllocRegionGPA(1)
+	if err := m.gateCode.MapIntoTable(guest.DefaultEPT(), gateGPA, ept.PermRX); err != nil {
+		return nil, err
+	}
+
+	// Per-guest ELISA stack: one page, never visible in the default
+	// context (the gate switches to it so manager code never runs on a
+	// guest-controlled stack).
+	stack, err := m.hv.AllocHostRegion(mem.PageSize)
+	if err != nil {
+		return nil, err
+	}
+
+	// Gate context: gate page RX + stack RW, nothing else. Everything a
+	// compromised guest might jump to simply does not translate here.
+	gateCtx, err := ept.New(m.hv.Phys())
+	if err != nil {
+		return nil, err
+	}
+	if err := m.gateCode.MapIntoTable(gateCtx, gateGPA, ept.PermRX); err != nil {
+		return nil, err
+	}
+	if err := stack.MapIntoTable(gateCtx, StackGPA, ept.PermRW); err != nil {
+		return nil, err
+	}
+	if err := list.Set(IdxGate, gateCtx.Pointer()); err != nil {
+		return nil, err
+	}
+
+	gs := &guestState{
+		vm:          guest,
+		list:        list,
+		gateCtx:     gateCtx,
+		gateGPA:     gateGPA,
+		stack:       stack,
+		nextIdx:     firstSubIdx,
+		attachments: make(map[string]*Attachment),
+		granted:     make(map[int]bool),
+	}
+	m.guests[guest.ID()] = gs
+	// Manager-side construction work (table edits, list install).
+	m.vm.VCPU().Charge(8 * m.hv.Cost().MemAccess)
+	return gs, nil
+}
+
+// attach builds the sub context granting one guest access to one object
+// and returns the attachment. Called from the negotiation hypercall.
+func (m *Manager) attach(guest *hv.VM, objName string) (*Attachment, error) {
+	obj, ok := m.objects[objName]
+	if !ok {
+		return nil, fmt.Errorf("core: no object %q", objName)
+	}
+	perm := obj.defaultPerm
+	if p, ok := obj.acl[guest.ID()]; ok {
+		perm = p
+	}
+	if perm == 0 {
+		return nil, fmt.Errorf("core: guest %q is not allowed to attach %q", guest.Name(), objName)
+	}
+	gs, err := m.ensureGuest(guest)
+	if err != nil {
+		return nil, err
+	}
+	if a, dup := gs.attachments[objName]; dup && !a.revoked {
+		return nil, fmt.Errorf("core: guest %q already attached to %q", guest.Name(), objName)
+	}
+	if gs.nextIdx >= ept.ListEntries {
+		return nil, fmt.Errorf("core: guest %q has exhausted its EPTP list", guest.Name())
+	}
+
+	// Exchange buffer: guest-visible staging area, also present in the
+	// sub context at the same GPA — and in no other guest's contexts.
+	exchange, err := m.hv.AllocHostRegion(ExchangeBytes)
+	if err != nil {
+		return nil, err
+	}
+	exchangeGPA := guest.AllocRegionGPA(exchange.Pages())
+	if err := exchange.MapIntoTable(guest.DefaultEPT(), exchangeGPA, ept.PermRW); err != nil {
+		return nil, err
+	}
+
+	// The sub context: exactly the five windows the design calls for.
+	sub, err := ept.New(m.hv.Phys())
+	if err != nil {
+		return nil, err
+	}
+	mapObject := func() error {
+		if obj.huge {
+			return obj.region.MapIntoTable2M(sub, obj.gpa, perm)
+		}
+		return obj.region.MapIntoTable(sub, obj.gpa, perm)
+	}
+	steps := []struct {
+		what string
+		err  error
+	}{
+		{"gate", m.gateCode.MapIntoTable(sub, gs.gateGPA, ept.PermRX)},
+		{"mgr-code", m.mgrCode.MapIntoTable(sub, MgrCodeGPA, ept.PermRX)},
+		{"object", mapObject()},
+		{"exchange", exchange.MapIntoTable(sub, exchangeGPA, ept.PermRW)},
+		{"stack", gs.stack.MapIntoTable(sub, StackGPA, ept.PermRW)},
+	}
+	for _, s := range steps {
+		if s.err != nil {
+			return nil, fmt.Errorf("core: building sub context (%s): %w", s.what, s.err)
+		}
+	}
+
+	idx := gs.nextIdx
+	gs.nextIdx++
+	if err := gs.list.Set(idx, sub.Pointer()); err != nil {
+		return nil, err
+	}
+	a := &Attachment{
+		guest:       guest,
+		obj:         obj,
+		subCtx:      sub,
+		subIdx:      idx,
+		perm:        perm,
+		exchange:    exchange,
+		exchangeGPA: exchangeGPA,
+	}
+	gs.attachments[objName] = a
+	gs.granted[idx] = true
+	m.hv.Trace().Emit(guest.VCPU().Clock().Now(), guest.Name(), trace.KindAttach,
+		"object %q slot %d perm %v", objName, idx, perm)
+	// Manager-side construction work: proportional to pages mapped.
+	pages := 3 + obj.region.Pages() + exchange.Pages()
+	m.vm.VCPU().Charge(simtime.Duration(pages) * m.hv.Cost().MemAccess * 4)
+	return a, nil
+}

@@ -1,0 +1,44 @@
+// Package core implements ELISA itself — Exit-Less, Isolated, and Shared
+// Access for virtual machines (Yasukata, Tazaki, Aublin; ASPLOS 2023).
+//
+// # Architecture
+//
+// A privileged *manager VM* owns every shared in-memory object. Objects are
+// never mapped into a guest's default EPT context; instead the manager
+// builds, per guest, a chain of EPT contexts the guest switches through
+// with VMFUNC leaf 0 (EPTP switching), which does not exit:
+//
+//	index 0: default context — guest RAM + the gate code page (RX)
+//	index 1: gate context    — ONLY the gate code page is executable
+//	index 2+: sub contexts   — gate code, manager code, the shared object,
+//	                           the per-attachment exchange buffer, and the
+//	                           per-guest ELISA stack
+//
+// The gate code page is mapped at the same guest-physical (and, via an
+// identity guest mapping, guest-virtual) address in all three kinds of
+// context, because an EPTP switch does not change the instruction pointer:
+// execution falls through the VMFUNC into the very next instruction, which
+// must therefore be mapped — and executable — on both sides.
+//
+// Isolation comes from what is *not* mapped: a guest's default context has
+// no translation for any shared object (reads fault), the gate context has
+// no executable page except the gate (jumping anywhere else faults), and a
+// sub context exposes exactly one object plus per-guest plumbing (another
+// guest's RAM, stack and buffers simply do not translate). Faults are EPT
+// violations; the hypervisor kills the offender.
+//
+// The data path (Handle.Call) is exit-less: four VMFUNCs, two gate
+// traversals and six gate-page fetches — 196 ns with the calibrated model,
+// versus 699 ns for one VMCALL round trip (paper Table 2, a 3.5x gap).
+// Only the one-time negotiation (Guest.Attach) uses hypercalls.
+//
+// # Model notes
+//
+// Manager functions are Go closures registered with Manager.RegisterFunc.
+// They stand in for the manager-provided code in the manager code page:
+// before one runs, the call path performs an instruction fetch on that
+// page in the sub context, and every memory access a function makes goes
+// through the calling vCPU's accessors — i.e. through the sub context's
+// EPT — so a function that strays outside its object faults exactly like
+// hostile guest code would.
+package core

@@ -1,0 +1,354 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/elisa-go/elisa/internal/cpu"
+	"github.com/elisa-go/elisa/internal/gpt"
+	"github.com/elisa-go/elisa/internal/hv"
+	"github.com/elisa-go/elisa/internal/mem"
+)
+
+// Guest is the guest-side ELISA library for one VM: it performs the
+// negotiation slow path and hands out Handles whose Call method is the
+// exit-less fast path.
+//
+// The *Manager reference held here models the gate code and manager code
+// pages that the manager maps into the guest's contexts: the guest cannot
+// inspect or alter them (they are RX grants), it can only execute them.
+type Guest struct {
+	vm      *hv.VM
+	mgr     *Manager
+	scratch mem.GPA // negotiation staging area in guest RAM
+	gateGVA mem.GVA
+	handles map[string]*Handle
+}
+
+// NewGuest initialises the ELISA library in a guest. The library reserves
+// the top page of guest RAM as its negotiation scratch buffer.
+func NewGuest(vm *hv.VM, mgr *Manager) (*Guest, error) {
+	if mgr == nil {
+		return nil, fmt.Errorf("core: NewGuest: nil manager")
+	}
+	if vm.RAMBytes() < 2*mem.PageSize {
+		return nil, fmt.Errorf("core: guest %q needs at least 2 RAM pages for the ELISA library", vm.Name())
+	}
+	return &Guest{
+		vm:      vm,
+		mgr:     mgr,
+		scratch: mem.GPA(vm.RAMBytes() - mem.PageSize),
+		handles: make(map[string]*Handle),
+	}, nil
+}
+
+// VM returns the guest VM this library instance belongs to.
+func (g *Guest) VM() *hv.VM { return g.vm }
+
+// Handle is an attached shared object: the guest's capability to call
+// manager functions on it through the gate.
+type Handle struct {
+	g            *Guest
+	objName      string
+	subIdx       int
+	gateGVA      mem.GVA
+	exchangeGPA  mem.GPA
+	exchangeSize int
+	objSize      int
+	detached     bool
+}
+
+// ObjectSize returns the attached object's size in bytes.
+func (h *Handle) ObjectSize() int { return h.objSize }
+
+// ExchangeGPA returns the guest-visible exchange buffer base address.
+func (h *Handle) ExchangeGPA() mem.GPA { return h.exchangeGPA }
+
+// ExchangeSize returns the exchange buffer size in bytes.
+func (h *Handle) ExchangeSize() int { return h.exchangeSize }
+
+// SubIndex returns the EPTP-list slot this handle switches to.
+func (h *Handle) SubIndex() int { return h.subIdx }
+
+// Attach negotiates access to a named shared object. This is the slow
+// path: a hypercall round trip plus manager-side context construction.
+// Attach runs as guest code on the VM's vCPU.
+func (g *Guest) Attach(objName string) (*Handle, error) {
+	if h, ok := g.handles[objName]; ok && !h.detached {
+		return h, nil
+	}
+	if len(objName) == 0 || len(objName) > 256 {
+		return nil, fmt.Errorf("core: object name length %d out of range", len(objName))
+	}
+	v := g.vm.VCPU()
+	respGPA := g.scratch + 512
+
+	// Stage the request in guest RAM and issue the negotiation hypercall.
+	if err := v.WriteGPA(g.scratch, []byte(objName)); err != nil {
+		return nil, err
+	}
+	if _, err := v.VMCall(HCAttach, uint64(g.scratch), uint64(len(objName)), uint64(respGPA)); err != nil {
+		return nil, fmt.Errorf("core: attach %q: %w", objName, err)
+	}
+	resp := make([]byte, attachRespBytes)
+	if err := v.ReadGPA(respGPA, resp); err != nil {
+		return nil, err
+	}
+	h := &Handle{
+		g:            g,
+		objName:      objName,
+		subIdx:       int(binary.LittleEndian.Uint64(resp[0:])),
+		gateGVA:      mem.GVA(binary.LittleEndian.Uint64(resp[8:])),
+		exchangeGPA:  mem.GPA(binary.LittleEndian.Uint64(resp[16:])),
+		exchangeSize: int(binary.LittleEndian.Uint64(resp[24:])),
+		objSize:      int(binary.LittleEndian.Uint64(resp[32:])),
+	}
+	g.gateGVA = h.gateGVA
+
+	// Guest kernel work: identity-map the gate and manager code windows
+	// so instruction fetches translate. (The EPT stage still decides
+	// what is actually executable where.)
+	gpte := v.GPT()
+	if _, _, ok := gpte.Lookup(h.gateGVA); !ok {
+		if err := gpte.Map(h.gateGVA, mem.GPA(h.gateGVA), gpt.PermRX); err != nil {
+			return nil, err
+		}
+	}
+	if _, _, ok := gpte.Lookup(mem.GVA(MgrCodeGPA)); !ok {
+		if err := gpte.Map(mem.GVA(MgrCodeGPA), MgrCodeGPA, gpt.PermRX); err != nil {
+			return nil, err
+		}
+	}
+	g.handles[objName] = h
+	return h, nil
+}
+
+// Detach gracefully gives up the attachment (negotiated, no kill).
+func (g *Guest) Detach(objName string) error {
+	h, ok := g.handles[objName]
+	if !ok || h.detached {
+		return fmt.Errorf("core: not attached to %q", objName)
+	}
+	v := g.vm.VCPU()
+	if err := v.WriteGPA(g.scratch, []byte(objName)); err != nil {
+		return err
+	}
+	if _, err := v.VMCall(HCDetach, uint64(g.scratch), uint64(len(objName))); err != nil {
+		return err
+	}
+	h.detached = true
+	delete(g.handles, objName)
+	return nil
+}
+
+// Call is the ELISA fast path: an exit-less invocation of manager function
+// fnID against the attached object. It runs as guest code on v (which must
+// be the attaching VM's vCPU) and costs, steady-state, exactly
+// CostModel.ELISARoundTrip() — 196 ns — plus whatever the function does.
+//
+// The instruction-level walk (each step charged):
+//
+//	default ctx: fetch gate page, save registers      (1 fetch + GateCode)
+//	             VMFUNC -> gate ctx                   (VMFunc)
+//	gate ctx:    fetch gate page, validate slot       (1 fetch)
+//	             VMFUNC -> sub ctx                    (VMFunc)
+//	sub ctx:     fetch manager code, run function     (1 fetch + fn)
+//	             fetch gate page                      (1 fetch)
+//	             VMFUNC -> gate ctx                   (VMFunc)
+//	gate ctx:    fetch gate page, restore registers   (1 fetch + GateCode)
+//	             VMFUNC -> default ctx                (VMFunc)
+//	default ctx: fetch gate page epilogue, return     (1 fetch)
+func (h *Handle) Call(v *cpu.VCPU, fnID uint64, args ...uint64) (uint64, error) {
+	if v != h.g.vm.VCPU() {
+		return 0, fmt.Errorf("core: Call on foreign vCPU")
+	}
+	if len(args) > 4 {
+		return 0, fmt.Errorf("core: Call takes at most 4 args, got %d", len(args))
+	}
+	cost := v.Cost()
+	mgr := h.g.mgr
+
+	// --- inbound: default -> gate -> sub ---
+	if err := v.FetchExec(h.gateGVA); err != nil {
+		return 0, err
+	}
+	v.Charge(cost.GateCode) // spill registers, stash target slot
+	if err := v.VMFunc(cpu.VMFuncLeafEPTPSwitch, IdxGate); err != nil {
+		return 0, err
+	}
+	if err := v.FetchExec(h.gateGVA); err != nil {
+		return 0, err
+	}
+	// The gate consults its grant table (in the gate-context stack page)
+	// before switching further; a slot the manager never granted to this
+	// guest is refused right here, without reaching any sub context.
+	if !mgr.gateAllows(h.g.vm.ID(), h.subIdx) {
+		if err := v.VMFunc(cpu.VMFuncLeafEPTPSwitch, IdxDefault); err != nil {
+			return 0, err
+		}
+		return 0, fmt.Errorf("core: gate refused slot %d for guest %q", h.subIdx, h.g.vm.Name())
+	}
+	if err := v.VMFunc(cpu.VMFuncLeafEPTPSwitch, h.subIdx); err != nil {
+		return 0, err
+	}
+
+	// --- in the sub context: run the manager function ---
+	ret, fnErr := mgr.invoke(v, h, fnID, args)
+	if v.Dead() {
+		// The function faulted and the hypervisor killed the VM; there
+		// is no context to return to.
+		return 0, fnErr
+	}
+
+	// --- outbound: sub -> gate -> default ---
+	if err := v.FetchExec(h.gateGVA); err != nil {
+		return 0, err
+	}
+	if err := v.VMFunc(cpu.VMFuncLeafEPTPSwitch, IdxGate); err != nil {
+		return 0, err
+	}
+	if err := v.FetchExec(h.gateGVA); err != nil {
+		return 0, err
+	}
+	v.Charge(cost.GateCode) // restore registers
+	if err := v.VMFunc(cpu.VMFuncLeafEPTPSwitch, IdxDefault); err != nil {
+		return 0, err
+	}
+	if err := v.FetchExec(h.gateGVA); err != nil { // epilogue + ret
+		return 0, err
+	}
+	if fnErr != nil {
+		return ret, fnErr
+	}
+	v.Regs[cpu.RAX] = ret
+	return ret, nil
+}
+
+// ExchangeWrite stages data into the exchange buffer from the guest's
+// default context (typically before a Call).
+func (h *Handle) ExchangeWrite(v *cpu.VCPU, off int, p []byte) error {
+	if off < 0 || off+len(p) > h.exchangeSize {
+		return fmt.Errorf("core: exchange write [%d,+%d) outside buffer size %d", off, len(p), h.exchangeSize)
+	}
+	return v.WriteGPA(h.exchangeGPA+mem.GPA(off), p)
+}
+
+// ExchangeRead reads results back out of the exchange buffer.
+func (h *Handle) ExchangeRead(v *cpu.VCPU, off int, p []byte) error {
+	if off < 0 || off+len(p) > h.exchangeSize {
+		return fmt.Errorf("core: exchange read [%d,+%d) outside buffer size %d", off, len(p), h.exchangeSize)
+	}
+	return v.ReadGPA(h.exchangeGPA+mem.GPA(off), p)
+}
+
+// gateAllows is the gate code's grant-table lookup (its cost is part of
+// GateCode).
+func (m *Manager) gateAllows(vmID, idx int) bool {
+	gs, ok := m.guests[vmID]
+	return ok && gs.granted[idx]
+}
+
+// invoke dispatches a manager function while the vCPU is in the sub
+// context. The instruction fetch on the manager code page is the model's
+// proof that the code is reachable (and only reachable) there.
+func (m *Manager) invoke(v *cpu.VCPU, h *Handle, fnID uint64, args []uint64) (uint64, error) {
+	gs := m.guests[h.g.vm.ID()]
+	a := gs.attachments[h.objName]
+	if err := v.FetchExec(mem.GVA(MgrCodeGPA)); err != nil {
+		return 0, err
+	}
+	fn, ok := m.funcs[fnID]
+	if !ok {
+		err := fmt.Errorf("core: unknown manager function %d", fnID)
+		a.recordCall(err)
+		return 0, err
+	}
+	ctx := &CallContext{
+		VCPU:         v,
+		Object:       a.obj.gpa,
+		ObjectSize:   a.obj.size,
+		Exchange:     a.exchangeGPA,
+		ExchangeSize: a.exchange.Size(),
+		GuestID:      h.g.vm.ID(),
+	}
+	copy(ctx.Args[:], args)
+	ret, err := fn(ctx)
+	a.recordCall(err)
+	return ret, err
+}
+
+// Req is one operation in a batched exit-less call (see CallMulti).
+type Req struct {
+	// Fn is the manager function ID to invoke.
+	Fn uint64
+	// Args are the register arguments.
+	Args [4]uint64
+	// Ret receives the function's result.
+	Ret uint64
+	// Err receives the function's error, if any (per-op, non-fatal).
+	Err error
+}
+
+// CallMulti performs several manager-function invocations under a single
+// gate crossing: the guest pays the 196 ns context round trip once and
+// runs every request back-to-back in the sub context. This is the
+// batching extension of the paper's design — the same amortisation that
+// makes the networking backends batch descriptors, offered as an API.
+//
+// Per-request errors are recorded in each Req; CallMulti itself fails
+// only on protocol errors (foreign vCPU, refused gate, fatal fault).
+func (h *Handle) CallMulti(v *cpu.VCPU, reqs []Req) error {
+	if v != h.g.vm.VCPU() {
+		return fmt.Errorf("core: CallMulti on foreign vCPU")
+	}
+	if len(reqs) == 0 {
+		return fmt.Errorf("core: CallMulti with no requests")
+	}
+	cost := v.Cost()
+	mgr := h.g.mgr
+
+	// Inbound crossing (identical to Call).
+	if err := v.FetchExec(h.gateGVA); err != nil {
+		return err
+	}
+	v.Charge(cost.GateCode)
+	if err := v.VMFunc(cpu.VMFuncLeafEPTPSwitch, IdxGate); err != nil {
+		return err
+	}
+	if err := v.FetchExec(h.gateGVA); err != nil {
+		return err
+	}
+	if !mgr.gateAllows(h.g.vm.ID(), h.subIdx) {
+		if err := v.VMFunc(cpu.VMFuncLeafEPTPSwitch, IdxDefault); err != nil {
+			return err
+		}
+		return fmt.Errorf("core: gate refused slot %d for guest %q", h.subIdx, h.g.vm.Name())
+	}
+	if err := v.VMFunc(cpu.VMFuncLeafEPTPSwitch, h.subIdx); err != nil {
+		return err
+	}
+
+	// Run the whole batch inside the sub context.
+	for i := range reqs {
+		reqs[i].Ret, reqs[i].Err = mgr.invoke(v, h, reqs[i].Fn, reqs[i].Args[:])
+		if v.Dead() {
+			return reqs[i].Err
+		}
+	}
+
+	// Outbound crossing.
+	if err := v.FetchExec(h.gateGVA); err != nil {
+		return err
+	}
+	if err := v.VMFunc(cpu.VMFuncLeafEPTPSwitch, IdxGate); err != nil {
+		return err
+	}
+	if err := v.FetchExec(h.gateGVA); err != nil {
+		return err
+	}
+	v.Charge(cost.GateCode)
+	if err := v.VMFunc(cpu.VMFuncLeafEPTPSwitch, IdxDefault); err != nil {
+		return err
+	}
+	return v.FetchExec(h.gateGVA)
+}

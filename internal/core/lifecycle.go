@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/elisa-go/elisa/internal/ept"
+	"github.com/elisa-go/elisa/internal/hv"
+	"github.com/elisa-go/elisa/internal/trace"
+)
+
+// CleanupGuest releases every ELISA resource held on behalf of a guest:
+// live sub contexts, the gate context, the per-guest stack, and all
+// exchange buffers (including those of detached/revoked attachments,
+// whose frames are deliberately kept until now because the guest's
+// default context may still map them). Call it before hv.DestroyVM; after
+// it returns, the guest has no ELISA state and the frames are back in the
+// allocator.
+func (m *Manager) CleanupGuest(guest *hv.VM) error {
+	gs, ok := m.guests[guest.ID()]
+	if !ok {
+		return fmt.Errorf("core: guest %q has no ELISA state", guest.Name())
+	}
+	tlb := guest.VCPU().TLB()
+	release := func(a *Attachment) error {
+		if !a.revoked {
+			a.revoked = true
+			if err := gs.list.Revoke(a.subIdx); err != nil {
+				return err
+			}
+			tlb.InvalidateContext(a.subCtx.Pointer())
+			if err := a.subCtx.Destroy(); err != nil {
+				return err
+			}
+		}
+		return a.exchange.Free()
+	}
+	for name, a := range gs.attachments {
+		if err := release(a); err != nil {
+			return fmt.Errorf("core: cleanup %q/%q: %w", guest.Name(), name, err)
+		}
+	}
+	for _, a := range gs.retired {
+		if err := a.exchange.Free(); err != nil {
+			return fmt.Errorf("core: cleanup retired exchange: %w", err)
+		}
+	}
+	if err := gs.list.Revoke(IdxGate); err != nil {
+		return err
+	}
+	tlb.InvalidateContext(gs.gateCtx.Pointer())
+	if err := gs.gateCtx.Destroy(); err != nil {
+		return err
+	}
+	if err := gs.stack.Free(); err != nil {
+		return err
+	}
+	delete(m.guests, guest.ID())
+	m.hv.Trace().Emit(guest.VCPU().Clock().Now(), guest.Name(), trace.KindCleanup, "ELISA state released")
+	return nil
+}
+
+// Fsck audits the manager's bookkeeping against the machine state: every
+// granted EPTP slot must hold exactly its sub context's pointer, the gate
+// slot must hold the gate context, and nothing else may be populated. It
+// is cheap and safe to call at any time; tests run it after every
+// mutation sequence.
+func (m *Manager) Fsck() error {
+	for id, gs := range m.guests {
+		gate, err := gs.list.Get(IdxGate)
+		if err != nil {
+			return err
+		}
+		if gate != gs.gateCtx.Pointer() {
+			return fmt.Errorf("core: fsck: guest %d gate slot %v != context %v", id, gate, gs.gateCtx.Pointer())
+		}
+		def, err := gs.list.Get(IdxDefault)
+		if err != nil {
+			return err
+		}
+		if def != gs.vm.DefaultEPT().Pointer() {
+			return fmt.Errorf("core: fsck: guest %d default slot %v", id, def)
+		}
+		// Collect what the attachments say should be installed.
+		want := map[int]ept.Pointer{}
+		for name, a := range gs.attachments {
+			if a.revoked {
+				continue
+			}
+			if !gs.granted[a.subIdx] {
+				return fmt.Errorf("core: fsck: guest %d attachment %q slot %d not granted", id, name, a.subIdx)
+			}
+			want[a.subIdx] = a.subCtx.Pointer()
+		}
+		if len(want) != len(gs.granted) {
+			return fmt.Errorf("core: fsck: guest %d has %d grants for %d live attachments", id, len(gs.granted), len(want))
+		}
+		// Every sub slot must match; every other slot must be empty.
+		for idx := firstSubIdx; idx < gs.nextIdx; idx++ {
+			p, err := gs.list.Get(idx)
+			if err != nil {
+				return err
+			}
+			if w, ok := want[idx]; ok {
+				if p != w {
+					return fmt.Errorf("core: fsck: guest %d slot %d holds %v, want %v", id, idx, p, w)
+				}
+			} else if p != ept.NilPointer {
+				return fmt.Errorf("core: fsck: guest %d slot %d should be revoked but holds %v", id, idx, p)
+			}
+		}
+	}
+	return nil
+}
+
+// SubContextMappings returns the complete mapping set of a guest's sub
+// context for an object — the audit view isolation tests assert against.
+func (m *Manager) SubContextMappings(guest *hv.VM, objName string) ([]ept.Mapping, error) {
+	a, ok := m.Attachment(guest, objName)
+	if !ok {
+		return nil, fmt.Errorf("core: guest %q is not attached to %q", guest.Name(), objName)
+	}
+	return a.subCtx.Mappings()
+}
+
+// GateContextMappings returns the complete mapping set of a guest's gate
+// context.
+func (m *Manager) GateContextMappings(guest *hv.VM) ([]ept.Mapping, error) {
+	gs, ok := m.guests[guest.ID()]
+	if !ok {
+		return nil, fmt.Errorf("core: guest %q has no ELISA state", guest.Name())
+	}
+	return gs.gateCtx.Mappings()
+}
+
+// GateGPA reports where the gate page sits in a guest's address space.
+func (m *Manager) GateGPA(guest *hv.VM) (gpa uint64, ok bool) {
+	gs, found := m.guests[guest.ID()]
+	if !found {
+		return 0, false
+	}
+	return uint64(gs.gateGPA), true
+}

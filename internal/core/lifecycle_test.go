@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/elisa-go/elisa/internal/ept"
+	"github.com/elisa-go/elisa/internal/mem"
+)
+
+func TestCleanupGuestReclaimsEverything(t *testing.T) {
+	f := newFixture(t)
+	_, _ = f.mgr.CreateObject("o1", 4*mem.PageSize)
+	_, _ = f.mgr.CreateObject("o2", mem.PageSize)
+
+	baseline := f.hv.Phys().FreeFrames()
+	vm, g := f.newGuest(t, "g")
+	afterVM := f.hv.Phys().FreeFrames()
+
+	h1, err := g.Attach("o1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Attach("o2"); err != nil {
+		t.Fatal(err)
+	}
+	// Exercise every lifecycle path: one live, one detached, one revoked.
+	if _, err := h1.Call(vm.VCPU(), fnNop); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Detach("o2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.mgr.Revoke(vm, "o1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.mgr.Fsck(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := f.mgr.CleanupGuest(vm); err != nil {
+		t.Fatal(err)
+	}
+	// Cleanup returns the bulk of the ELISA frames; the remainder (the
+	// EPTP list page and default-EPT table pages grown for the gate and
+	// exchange windows) belongs to the VM and goes with DestroyVM.
+	afterCleanup := f.hv.Phys().FreeFrames()
+	if afterCleanup <= afterVM-8 {
+		t.Fatalf("cleanup reclaimed too little: %d -> %d", afterVM, afterCleanup)
+	}
+	if err := f.hv.DestroyVM(vm); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.hv.Phys().FreeFrames(); got != baseline {
+		t.Fatalf("after destroy: free=%d, want baseline %d", got, baseline)
+	}
+	// Cleanup is not idempotent: the state is gone.
+	if err := f.mgr.CleanupGuest(vm); err == nil {
+		t.Fatal("double cleanup accepted")
+	}
+}
+
+func TestFsckDetectsTampering(t *testing.T) {
+	f := newFixture(t)
+	_, _ = f.mgr.CreateObject("obj", mem.PageSize)
+	vm, g := f.newGuest(t, "g")
+	h, _ := g.Attach("obj")
+	if err := f.mgr.Fsck(); err != nil {
+		t.Fatalf("clean state flagged: %v", err)
+	}
+	// Corrupt the EPTP list behind the manager's back.
+	gs := f.mgr.guests[vm.ID()]
+	if err := gs.list.Set(h.SubIndex(), ept.Pointer(0xdead000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.mgr.Fsck(); err == nil {
+		t.Fatal("tampered slot not detected")
+	}
+	_ = gs.list.Set(h.SubIndex(), gs.attachments["obj"].subCtx.Pointer())
+	if err := f.mgr.Fsck(); err != nil {
+		t.Fatal(err)
+	}
+	// A stray extra slot is also caught.
+	_ = gs.list.Set(h.SubIndex()+1, gs.gateCtx.Pointer())
+	gs.nextIdx++
+	if err := f.mgr.Fsck(); err == nil {
+		t.Fatal("stray slot not detected")
+	}
+}
+
+// The audit: a sub context maps exactly {gate, manager code, object,
+// exchange, stack} — byte-accounted, nothing else.
+func TestSubContextMapsExactlyFiveWindows(t *testing.T) {
+	f := newFixture(t)
+	obj, _ := f.mgr.CreateObject("audited", 3*mem.PageSize)
+	vm, g := f.newGuest(t, "g")
+	h, _ := g.Attach("audited")
+
+	ms, err := f.mgr.SubContextMappings(vm, "audited")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gateGPA, _ := f.mgr.GateGPA(vm)
+	type window struct {
+		base  mem.GPA
+		pages int
+		perm  ept.Perm
+	}
+	want := []window{
+		{mem.GPA(gateGPA), 1, ept.PermRX},
+		{MgrCodeGPA, 1, ept.PermRX},
+		{obj.GPA(), 3, ept.PermRW},
+		{h.ExchangeGPA(), ExchangeBytes / mem.PageSize, ept.PermRW},
+		{StackGPA, 1, ept.PermRW},
+	}
+	totalPages := 0
+	for _, w := range want {
+		totalPages += w.pages
+	}
+	if len(ms) != totalPages {
+		t.Fatalf("sub context maps %d pages, want exactly %d:\n%+v", len(ms), totalPages, ms)
+	}
+	inWindow := func(m ept.Mapping) bool {
+		for _, w := range want {
+			if m.GPA >= w.base && m.GPA < w.base+mem.GPA(w.pages*mem.PageSize) {
+				return m.Perm == w.perm
+			}
+		}
+		return false
+	}
+	for _, m := range ms {
+		if !inWindow(m) {
+			t.Fatalf("unexpected mapping in sub context: %+v", m)
+		}
+	}
+}
+
+// The gate context maps exactly {gate page RX, stack RW}.
+func TestGateContextMapsExactlyTwoWindows(t *testing.T) {
+	f := newFixture(t)
+	_, _ = f.mgr.CreateObject("obj", mem.PageSize)
+	vm, g := f.newGuest(t, "g")
+	_, _ = g.Attach("obj")
+	ms, err := f.mgr.GateContextMappings(vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("gate context maps %d pages, want 2: %+v", len(ms), ms)
+	}
+	gateGPA, _ := f.mgr.GateGPA(vm)
+	for _, m := range ms {
+		switch m.GPA {
+		case mem.GPA(gateGPA):
+			if m.Perm != ept.PermRX {
+				t.Fatalf("gate page perm %v", m.Perm)
+			}
+		case StackGPA:
+			if m.Perm != ept.PermRW {
+				t.Fatalf("stack perm %v", m.Perm)
+			}
+		default:
+			t.Fatalf("unexpected gate mapping %+v", m)
+		}
+	}
+}
+
+// Property: any sequence of attach/call/detach/revoke operations keeps
+// the manager's bookkeeping consistent (Fsck) and ends reclaimable
+// (CleanupGuest + DestroyVM restore the frame count).
+func TestLifecycleProperty(t *testing.T) {
+	f := newFixture(t)
+	for i := 0; i < 6; i++ {
+		if _, err := f.mgr.CreateObject(fmt.Sprintf("po-%d", i), mem.PageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq := 0
+	run := func(ops []uint8) bool {
+		seq++
+		baseline := f.hv.Phys().FreeFrames()
+		vm, err := f.hv.CreateVM(fmt.Sprintf("pg-%d", seq), 16*mem.PageSize)
+		if err != nil {
+			return false
+		}
+		g, err := NewGuest(vm, f.mgr)
+		if err != nil {
+			return false
+		}
+		handles := map[string]*Handle{}
+		for _, op := range ops {
+			name := fmt.Sprintf("po-%d", int(op)%6)
+			switch op % 4 {
+			case 0: // attach
+				h, err := g.Attach(name)
+				if err == nil {
+					handles[name] = h
+				}
+			case 1: // call
+				if h, ok := handles[name]; ok {
+					if _, ok := f.mgr.Attachment(vm, name); !ok {
+						continue // revoked: calling would be refused, fine
+					}
+					if _, err := h.Call(vm.VCPU(), fnNop); err != nil {
+						return false
+					}
+				}
+			case 2: // detach
+				if _, ok := handles[name]; ok {
+					_ = g.Detach(name)
+					delete(handles, name)
+				}
+			case 3: // revoke
+				if _, ok := f.mgr.Attachment(vm, name); ok {
+					if err := f.mgr.Revoke(vm, name); err != nil {
+						return false
+					}
+				}
+			}
+			if err := f.mgr.Fsck(); err != nil {
+				t.Logf("fsck: %v", err)
+				return false
+			}
+		}
+		if _, ok := f.mgr.guests[vm.ID()]; ok {
+			if err := f.mgr.CleanupGuest(vm); err != nil {
+				t.Logf("cleanup: %v", err)
+				return false
+			}
+		}
+		if err := f.hv.DestroyVM(vm); err != nil {
+			t.Logf("destroy: %v", err)
+			return false
+		}
+		return f.hv.Phys().FreeFrames() == baseline
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,404 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/elisa-go/elisa/internal/cpu"
+	"github.com/elisa-go/elisa/internal/ept"
+	"github.com/elisa-go/elisa/internal/hv"
+	"github.com/elisa-go/elisa/internal/mem"
+	"github.com/elisa-go/elisa/internal/trace"
+)
+
+// Fixed guest-physical landmarks shared by every sub context. Keeping them
+// constant across guests lets one copy of the manager code address objects
+// uniformly, as in the paper's implementation.
+const (
+	// MgrCodeGPA is where the manager code page appears in sub contexts.
+	MgrCodeGPA mem.GPA = 0x9000_0000
+	// StackGPA is where the per-guest ELISA stack appears in gate and sub
+	// contexts.
+	StackGPA mem.GPA = 0xA000_0000
+	// objectBaseGPA is the bottom of the shared-object address range.
+	objectBaseGPA mem.GPA = 0x8000_0000
+)
+
+// EPTP-list slot conventions.
+const (
+	// IdxDefault is the EPTP-list slot of the guest's default context.
+	IdxDefault = 0
+	// IdxGate is the EPTP-list slot of the gate context.
+	IdxGate = 1
+	// firstSubIdx is the first slot used for sub contexts.
+	firstSubIdx = 2
+)
+
+// exchangePages is the size of the per-attachment exchange buffer guests
+// stage arguments and results in (mapped in the guest default context and
+// the sub context, never in other guests').
+const exchangePages = 8
+
+// ExchangeBytes is the byte size of an attachment's exchange buffer.
+const ExchangeBytes = exchangePages * mem.PageSize
+
+// Object is a shared in-memory object owned by the manager. Its pages live
+// in host memory and are mapped only into sub EPT contexts, at the same
+// GPA in every one of them.
+type Object struct {
+	name        string
+	region      *hv.HostRegion
+	size        int
+	gpa         mem.GPA
+	huge        bool             // mapped with 2MiB EPT entries
+	defaultPerm ept.Perm         // grant for guests with no explicit ACL entry
+	acl         map[int]ept.Perm // per-VM-id overrides
+}
+
+// Name returns the object's name.
+func (o *Object) Name() string { return o.name }
+
+// Size returns the object's size in bytes (whole pages).
+func (o *Object) Size() int { return o.size }
+
+// GPA returns the object's address in every sub context that maps it.
+func (o *Object) GPA() mem.GPA { return o.gpa }
+
+// Region exposes the backing host region (manager/host-side access).
+func (o *Object) Region() *hv.HostRegion { return o.region }
+
+// CallContext is what a manager function sees while servicing one
+// exit-less call: the calling vCPU (running in the sub context), the
+// object and exchange-buffer windows, and the guest's register arguments.
+type CallContext struct {
+	// VCPU is the caller's vCPU, currently executing in the sub context.
+	// All memory access must go through it.
+	VCPU *cpu.VCPU
+
+	// Object is the base GPA of the attached object in the sub context.
+	Object mem.GPA
+	// ObjectSize is the object's size in bytes.
+	ObjectSize int
+
+	// Exchange is the base GPA of the caller's exchange buffer.
+	Exchange mem.GPA
+	// ExchangeSize is the exchange buffer's size in bytes.
+	ExchangeSize int
+
+	// Args are the guest's register arguments (RDI, RSI, RDX, RCX).
+	Args [4]uint64
+
+	// GuestID identifies the calling VM (for per-guest state in
+	// manager functions).
+	GuestID int
+}
+
+// ObjectFunc is a manager-provided function: code the manager publishes in
+// the manager code page, invoked by guests through the gate. It returns a
+// result for the guest's RAX.
+type ObjectFunc func(ctx *CallContext) (uint64, error)
+
+// Manager is the ELISA manager-VM runtime. Host-side code creates exactly
+// one per machine; guests talk to it only through the negotiation
+// hypercalls (slow path) and the gate (fast path).
+type Manager struct {
+	hv *hv.Hypervisor
+	vm *hv.VM // the manager VM itself
+
+	gateCode *hv.HostRegion // 1 page, RX in default+gate+sub contexts
+	mgrCode  *hv.HostRegion // 1 page, RX in sub contexts only
+
+	objects    map[string]*Object
+	nextObjGPA mem.GPA
+
+	guests map[int]*guestState // by VM id
+	funcs  map[uint64]ObjectFunc
+}
+
+// guestState is the manager's per-guest bookkeeping.
+type guestState struct {
+	vm      *hv.VM
+	list    *ept.List
+	gateCtx *ept.Table
+	gateGPA mem.GPA
+	stack   *hv.HostRegion
+	nextIdx int
+	// attachments by object name; granted marks live EPTP-list slots the
+	// gate will let this guest switch to; retired holds detached
+	// attachments whose exchange buffers await CleanupGuest (the guest's
+	// default context may still map them).
+	attachments map[string]*Attachment
+	granted     map[int]bool
+	retired     []*Attachment
+}
+
+// Attachment is one (guest, object) grant: a sub EPT context plus its
+// exchange buffer.
+type Attachment struct {
+	guest       *hv.VM
+	obj         *Object
+	subCtx      *ept.Table
+	subIdx      int
+	perm        ept.Perm
+	exchange    *hv.HostRegion
+	exchangeGPA mem.GPA
+	revoked     bool
+
+	// accounting (see Manager.Stats)
+	calls    uint64
+	fnErrors uint64
+}
+
+// SubIndex returns the attachment's EPTP-list slot.
+func (a *Attachment) SubIndex() int { return a.subIdx }
+
+// ExchangeGPA returns the guest-visible exchange buffer address.
+func (a *Attachment) ExchangeGPA() mem.GPA { return a.exchangeGPA }
+
+// ManagerConfig configures NewManager.
+type ManagerConfig struct {
+	// RAMBytes is the manager VM's private RAM (default 64 KiB).
+	RAMBytes int
+}
+
+// NewManager boots the manager VM and its runtime, and registers the
+// negotiation hypercalls with the hypervisor.
+func NewManager(h *hv.Hypervisor, cfg ManagerConfig) (*Manager, error) {
+	if cfg.RAMBytes == 0 {
+		cfg.RAMBytes = 16 * mem.PageSize
+	}
+	vm, err := h.CreateVM("elisa-manager", cfg.RAMBytes)
+	if err != nil {
+		return nil, err
+	}
+	gate, err := h.AllocHostRegion(mem.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	mcode, err := h.AllocHostRegion(mem.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	// Stamp the code pages so tests (and curious guests, where mapped)
+	// can recognise them byte-for-byte.
+	if err := gate.Write(nil, 0, []byte(GateCodeMagic)); err != nil {
+		return nil, err
+	}
+	if err := mcode.Write(nil, 0, []byte(MgrCodeMagic)); err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		hv:         h,
+		vm:         vm,
+		gateCode:   gate,
+		mgrCode:    mcode,
+		objects:    make(map[string]*Object),
+		nextObjGPA: objectBaseGPA,
+		guests:     make(map[int]*guestState),
+		funcs:      make(map[uint64]ObjectFunc),
+	}
+	if err := m.registerHypercalls(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Magic prefixes written into the manager's code pages.
+const (
+	GateCodeMagic = "ELISA-GATE\x90\x90"
+	MgrCodeMagic  = "ELISA-MGRCODE\x90"
+)
+
+// VM returns the manager VM.
+func (m *Manager) VM() *hv.VM { return m.vm }
+
+// CreateObject allocates a shared object of at least size bytes. Guests
+// may attach with the default grant (read-write) unless restricted.
+func (m *Manager) CreateObject(name string, size int) (*Object, error) {
+	if name == "" {
+		return nil, fmt.Errorf("core: object name must not be empty")
+	}
+	if _, dup := m.objects[name]; dup {
+		return nil, fmt.Errorf("core: object %q already exists", name)
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("core: object %q: size %d must be positive", name, size)
+	}
+	region, err := m.hv.AllocHostRegion(size)
+	if err != nil {
+		return nil, fmt.Errorf("core: object %q: %w", name, err)
+	}
+	o := &Object{
+		name:        name,
+		region:      region,
+		size:        region.Size(),
+		gpa:         m.nextObjGPA,
+		defaultPerm: ept.PermRW,
+		acl:         make(map[int]ept.Perm),
+	}
+	// Leave a guard page between objects: a linear overrun in manager
+	// code faults instead of silently entering the next object.
+	m.nextObjGPA += mem.GPA((region.Pages() + 1) * mem.PageSize)
+	m.objects[name] = o
+	// Building the object is manager-side work.
+	m.vm.VCPU().Charge(m.hv.Cost().MemAccess * 4)
+	return o, nil
+}
+
+// CreateObjectHuge allocates a shared object backed by physically
+// contiguous memory and mapped into sub contexts with 2 MiB EPT entries —
+// fewer table frames, deeper TLB reach for large objects (see the
+// ext_hugepages experiment).
+func (m *Manager) CreateObjectHuge(name string, size int) (*Object, error) {
+	if name == "" {
+		return nil, fmt.Errorf("core: object name must not be empty")
+	}
+	if _, dup := m.objects[name]; dup {
+		return nil, fmt.Errorf("core: object %q already exists", name)
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("core: object %q: size %d must be positive", name, size)
+	}
+	region, err := m.hv.AllocHostRegionHuge(size)
+	if err != nil {
+		return nil, fmt.Errorf("core: object %q: %w", name, err)
+	}
+	// Huge mappings need a 2MiB-aligned GPA.
+	base := (m.nextObjGPA + ept.HugePageSize - 1) &^ (ept.HugePageSize - 1)
+	o := &Object{
+		name:        name,
+		region:      region,
+		size:        region.Size(),
+		gpa:         base,
+		huge:        true,
+		defaultPerm: ept.PermRW,
+		acl:         make(map[int]ept.Perm),
+	}
+	m.nextObjGPA = base + mem.GPA((region.Pages()+1)*mem.PageSize)
+	m.objects[name] = o
+	m.vm.VCPU().Charge(m.hv.Cost().MemAccess * 4)
+	return o, nil
+}
+
+// Huge reports whether the object uses 2 MiB mappings.
+func (o *Object) Huge() bool { return o.huge }
+
+// CreateObjectFromRegion publishes an existing host region (e.g. a device
+// DMA ring the manager VM drives) as a shared object. The manager takes
+// ownership of the region's mappings into sub contexts; the region itself
+// remains with its allocator.
+func (m *Manager) CreateObjectFromRegion(name string, region *hv.HostRegion) (*Object, error) {
+	if name == "" {
+		return nil, fmt.Errorf("core: object name must not be empty")
+	}
+	if _, dup := m.objects[name]; dup {
+		return nil, fmt.Errorf("core: object %q already exists", name)
+	}
+	if region == nil {
+		return nil, fmt.Errorf("core: object %q: nil region", name)
+	}
+	o := &Object{
+		name:        name,
+		region:      region,
+		size:        region.Size(),
+		gpa:         m.nextObjGPA,
+		defaultPerm: ept.PermRW,
+		acl:         make(map[int]ept.Perm),
+	}
+	m.nextObjGPA += mem.GPA((region.Pages() + 1) * mem.PageSize)
+	m.objects[name] = o
+	m.vm.VCPU().Charge(m.hv.Cost().MemAccess * 4)
+	return o, nil
+}
+
+// Object looks up a shared object by name.
+func (m *Manager) Object(name string) (*Object, bool) {
+	o, ok := m.objects[name]
+	return o, ok
+}
+
+// Restrict sets the grant given to guests without an explicit Grant entry;
+// ept.Perm(0) means "deny unless explicitly granted".
+func (m *Manager) Restrict(objName string, defaultPerm ept.Perm) error {
+	o, ok := m.objects[objName]
+	if !ok {
+		return fmt.Errorf("core: no object %q", objName)
+	}
+	o.defaultPerm = defaultPerm
+	return nil
+}
+
+// Grant sets the permission a specific guest receives when attaching to
+// the object (overriding the default grant).
+func (m *Manager) Grant(objName string, guest *hv.VM, perm ept.Perm) error {
+	o, ok := m.objects[objName]
+	if !ok {
+		return fmt.Errorf("core: no object %q", objName)
+	}
+	o.acl[guest.ID()] = perm
+	return nil
+}
+
+// RegisterFunc publishes a manager function under id; guests invoke it
+// with Handle.Call. In the paper's terms this places code in the manager
+// code page.
+func (m *Manager) RegisterFunc(id uint64, fn ObjectFunc) error {
+	if fn == nil {
+		return fmt.Errorf("core: nil function for id %d", id)
+	}
+	if _, dup := m.funcs[id]; dup {
+		return fmt.Errorf("core: function id %d already registered", id)
+	}
+	m.funcs[id] = fn
+	return nil
+}
+
+// Attachment returns the live attachment of a guest to an object, if any.
+func (m *Manager) Attachment(guest *hv.VM, objName string) (*Attachment, bool) {
+	gs, ok := m.guests[guest.ID()]
+	if !ok {
+		return nil, false
+	}
+	a, ok := gs.attachments[objName]
+	if !ok || a.revoked {
+		return nil, false
+	}
+	return a, true
+}
+
+// Revoke withdraws a guest's access to an object: the EPTP-list slot is
+// cleared and the sub context destroyed. The guest's next attempt to
+// switch there faults and the hypervisor kills it — revocation is
+// immediate and non-negotiable.
+func (m *Manager) Revoke(guest *hv.VM, objName string) error {
+	gs, ok := m.guests[guest.ID()]
+	if !ok {
+		return fmt.Errorf("core: guest %q has no ELISA state", guest.Name())
+	}
+	a, ok := gs.attachments[objName]
+	if !ok || a.revoked {
+		return fmt.Errorf("core: guest %q is not attached to %q", guest.Name(), objName)
+	}
+	a.revoked = true
+	delete(gs.granted, a.subIdx)
+	if err := gs.list.Revoke(a.subIdx); err != nil {
+		return err
+	}
+	m.hv.Trace().Emit(guest.VCPU().Clock().Now(), guest.Name(), trace.KindRevoke,
+		"object %q slot %d", objName, a.subIdx)
+	// Drop cached translations for the dying context before its table
+	// frames are recycled.
+	guest.VCPU().TLB().InvalidateContext(a.subCtx.Pointer())
+	if err := a.subCtx.Destroy(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// SubTableFrames reports how many physical frames the attachment's sub
+// context spends on page tables (the hugepage experiment's metric).
+func (a *Attachment) SubTableFrames() int {
+	if a.subCtx == nil || a.revoked {
+		return 0
+	}
+	return a.subCtx.TableFrames()
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/elisa-go/elisa/internal/hv"
+	"github.com/elisa-go/elisa/internal/mem"
+	"github.com/elisa-go/elisa/internal/trace"
+)
+
+// Negotiation hypercall numbers ("E115A" ≈ ELISA). These are the *only*
+// exits in the protocol, and they happen once per attachment.
+const (
+	// HCAttach: args = (name GPA, name length, response GPA).
+	// The response is a 5x8-byte record written into guest RAM.
+	HCAttach uint64 = 0xE115A001
+	// HCDetach: args = (name GPA, name length).
+	HCDetach uint64 = 0xE115A002
+)
+
+// attachResp is the negotiation response layout (5 little-endian u64s).
+const attachRespBytes = 5 * 8
+
+func (m *Manager) registerHypercalls() error {
+	if err := m.hv.RegisterHypercall(HCAttach, m.hcAttach); err != nil {
+		return err
+	}
+	return m.hv.RegisterHypercall(HCDetach, m.hcDetach)
+}
+
+func (m *Manager) readName(vm *hv.VM, gpa, n uint64) (string, error) {
+	if n == 0 || n > 256 {
+		return "", fmt.Errorf("core: object name length %d out of range", n)
+	}
+	buf := make([]byte, n)
+	if err := vm.GuestRead(mem.GPA(gpa), buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// hcAttach services a guest's attach request. The work is performed "by
+// the manager VM": its construction cost lands on the manager's clock,
+// while the calling guest pays the hypercall round trips.
+func (m *Manager) hcAttach(vm *hv.VM, args [4]uint64) (uint64, error) {
+	name, err := m.readName(vm, args[0], args[1])
+	if err != nil {
+		return 0, err
+	}
+	// Probe the response buffer before building anything: a bogus
+	// response address must fail the negotiation cleanly, not leave a
+	// half-built attachment the guest never learns about.
+	if err := vm.GuestWrite(mem.GPA(args[2]), make([]byte, attachRespBytes)); err != nil {
+		return 0, err
+	}
+	a, err := m.attach(vm, name)
+	if err != nil {
+		return 0, err
+	}
+	gs := m.guests[vm.ID()]
+	resp := make([]byte, attachRespBytes)
+	binary.LittleEndian.PutUint64(resp[0:], uint64(a.subIdx))
+	binary.LittleEndian.PutUint64(resp[8:], uint64(gs.gateGPA))
+	binary.LittleEndian.PutUint64(resp[16:], uint64(a.exchangeGPA))
+	binary.LittleEndian.PutUint64(resp[24:], uint64(a.exchange.Size()))
+	binary.LittleEndian.PutUint64(resp[32:], uint64(a.obj.size))
+	if err := vm.GuestWrite(mem.GPA(args[2]), resp); err != nil {
+		return 0, err
+	}
+	return 0, nil
+}
+
+// hcDetach tears down a guest's attachment voluntarily. Unlike Revoke it
+// is guest-initiated and graceful (no kill).
+func (m *Manager) hcDetach(vm *hv.VM, args [4]uint64) (uint64, error) {
+	name, err := m.readName(vm, args[0], args[1])
+	if err != nil {
+		return 0, err
+	}
+	gs, ok := m.guests[vm.ID()]
+	if !ok {
+		return 0, fmt.Errorf("core: guest %q has no ELISA state", vm.Name())
+	}
+	a, ok := gs.attachments[name]
+	if !ok || a.revoked {
+		return 0, fmt.Errorf("core: guest %q is not attached to %q", vm.Name(), name)
+	}
+	a.revoked = true
+	delete(gs.granted, a.subIdx)
+	delete(gs.attachments, name)
+	if err := gs.list.Revoke(a.subIdx); err != nil {
+		return 0, err
+	}
+	vm.VCPU().TLB().InvalidateContext(a.subCtx.Pointer())
+	if err := a.subCtx.Destroy(); err != nil {
+		return 0, err
+	}
+	// The exchange buffer stays mapped in the guest's default context
+	// (the guest may still hold data there); its frames are released by
+	// CleanupGuest when the guest goes away.
+	gs.retired = append(gs.retired, a)
+	m.hv.Trace().Emit(vm.VCPU().Clock().Now(), vm.Name(), trace.KindDetach,
+		"object %q slot %d", name, a.subIdx)
+	return 0, nil
+}

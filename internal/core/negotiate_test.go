@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/elisa-go/elisa/internal/cpu"
+	"github.com/elisa-go/elisa/internal/mem"
+)
+
+// Hostile negotiation: malformed hypercall arguments must fail cleanly
+// (error to the guest), never corrupt manager state.
+func TestNegotiationHostileArguments(t *testing.T) {
+	f := newFixture(t)
+	_, _ = f.mgr.CreateObject("obj", mem.PageSize)
+	vm, _ := f.newGuest(t, "hostile")
+
+	cases := []struct {
+		name string
+		args []uint64
+	}{
+		{"zero name length", []uint64{0x1000, 0, 0x2000}},
+		{"huge name length", []uint64{0x1000, 4096, 0x2000}},
+		{"name outside RAM", []uint64{0x9999_0000, 8, 0x2000}},
+		{"response outside RAM", []uint64{0x1000, 3, 0x9999_0000}},
+	}
+	_ = vm.Run(func(v *cpu.VCPU) error { return v.WriteGPA(0x1000, []byte("obj")) })
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := vm.Run(func(v *cpu.VCPU) error {
+				_, err := v.VMCall(HCAttach, c.args...)
+				return err
+			})
+			if err == nil {
+				t.Fatal("malformed attach succeeded")
+			}
+			if vm.Dead() {
+				t.Fatal("malformed attach killed the guest")
+			}
+		})
+	}
+	if err := f.mgr.Fsck(); err != nil {
+		t.Fatal(err)
+	}
+	// The guest can still attach properly afterwards.
+	g2, err := NewGuest(vm, f.mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g2.Attach("obj"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetachHostileArguments(t *testing.T) {
+	f := newFixture(t)
+	_, _ = f.mgr.CreateObject("obj", mem.PageSize)
+	vm, g := f.newGuest(t, "hostile")
+	_, _ = g.Attach("obj")
+
+	// Detach of a never-attached name fails cleanly.
+	err := vm.Run(func(v *cpu.VCPU) error {
+		if err := v.WriteGPA(0x1000, []byte("nope")); err != nil {
+			return err
+		}
+		_, err := v.VMCall(HCDetach, 0x1000, 4)
+		return err
+	})
+	if err == nil || vm.Dead() {
+		t.Fatalf("bogus detach: err=%v dead=%v", err, vm.Dead())
+	}
+	// Detach from a guest with no ELISA state at all.
+	vm2, _ := f.hv.CreateVM("fresh", 16*mem.PageSize)
+	err = vm2.Run(func(v *cpu.VCPU) error {
+		if err := v.WriteGPA(0x1000, []byte("obj")); err != nil {
+			return err
+		}
+		_, err := v.VMCall(HCDetach, 0x1000, 3)
+		return err
+	})
+	if err == nil || vm2.Dead() {
+		t.Fatalf("stateless detach: err=%v dead=%v", err, vm2.Dead())
+	}
+	if err := f.mgr.Fsck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGuestLibValidation(t *testing.T) {
+	f := newFixture(t)
+	vm, _ := f.hv.CreateVM("tiny", mem.PageSize) // too small for the library
+	if _, err := NewGuest(vm, f.mgr); err == nil {
+		t.Fatal("tiny guest accepted")
+	}
+	vm2, _ := f.hv.CreateVM("ok", 16*mem.PageSize)
+	if _, err := NewGuest(vm2, nil); err == nil {
+		t.Fatal("nil manager accepted")
+	}
+}
+
+func TestCreateObjectHugeValidation(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.mgr.CreateObjectHuge("", mem.PageSize); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := f.mgr.CreateObjectHuge("h", 0); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := f.mgr.CreateObjectHuge("h", 2*1024*1024); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.mgr.CreateObjectHuge("h", 2*1024*1024); err == nil {
+		t.Error("duplicate accepted")
+	}
+	// Requests round up to whole 2MiB chunks.
+	o, ok := f.mgr.Object("h")
+	if !ok || o.Size() != 2*1024*1024 {
+		t.Fatalf("object: %v %d", ok, o.Size())
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/elisa-go/elisa/internal/hv"
+)
+
+// AttachmentStats is the manager's per-attachment accounting, the raw
+// material for tenancy billing and abuse detection.
+type AttachmentStats struct {
+	Guest    string
+	Object   string
+	SubIndex int
+	Calls    uint64
+	FnErrors uint64
+	Revoked  bool
+}
+
+// recordCall is bumped by invoke on every dispatched manager function.
+func (a *Attachment) recordCall(fnErr error) {
+	a.calls++
+	if fnErr != nil {
+		a.fnErrors++
+	}
+}
+
+// Stats returns a snapshot of every attachment (live and revoked, but not
+// yet cleaned up), ordered by guest then object.
+func (m *Manager) Stats() []AttachmentStats {
+	var out []AttachmentStats
+	for _, gs := range m.guests {
+		for name, a := range gs.attachments {
+			out = append(out, AttachmentStats{
+				Guest:    gs.vm.Name(),
+				Object:   name,
+				SubIndex: a.subIdx,
+				Calls:    a.calls,
+				FnErrors: a.fnErrors,
+				Revoked:  a.revoked,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Guest != out[j].Guest {
+			return out[i].Guest < out[j].Guest
+		}
+		return out[i].Object < out[j].Object
+	})
+	return out
+}
+
+// ObjectNames returns the registered object names, sorted.
+func (m *Manager) ObjectNames() []string {
+	names := make([]string, 0, len(m.objects))
+	for n := range m.objects {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DescribeGuest renders a one-guest summary for inspection tools.
+func (m *Manager) DescribeGuest(guest *hv.VM) (string, error) {
+	gs, ok := m.guests[guest.ID()]
+	if !ok {
+		return "", fmt.Errorf("core: guest %q has no ELISA state", guest.Name())
+	}
+	s := fmt.Sprintf("guest %q: gate@%#x, %d attachment(s), next slot %d\n",
+		guest.Name(), uint64(gs.gateGPA), len(gs.attachments), gs.nextIdx)
+	for name, a := range gs.attachments {
+		state := "live"
+		if a.revoked {
+			state = "revoked"
+		}
+		s += fmt.Sprintf("  %-16s slot %-3d obj@%#x exchange@%#x %s calls=%d errs=%d\n",
+			name, a.subIdx, uint64(a.obj.gpa), uint64(a.exchangeGPA), state, a.calls, a.fnErrors)
+	}
+	return s, nil
+}

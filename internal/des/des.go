@@ -1,0 +1,203 @@
+// Package des is a minimal discrete-event simulator: an event heap with a
+// global virtual clock. The memcached experiment uses it to reproduce the
+// paper's latency-vs-throughput curves, which are queueing phenomena (open
+// -loop arrivals meeting a finite-rate server) rather than straight-line
+// cost accounting.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+
+	"github.com/elisa-go/elisa/internal/simtime"
+)
+
+// Event is a scheduled callback.
+type Event struct {
+	at   simtime.Time
+	seq  uint64 // tie-break for determinism
+	fn   func(now simtime.Time)
+	idx  int
+	dead bool
+}
+
+// Cancel prevents a pending event from firing. Cancelling a fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.dead = true }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is one simulation run. The zero value is not usable; use New.
+type Sim struct {
+	now    simtime.Time
+	events eventHeap
+	seq    uint64
+	fired  uint64
+}
+
+// New returns an empty simulation at time zero.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() simtime.Time { return s.now }
+
+// Fired reports how many events have executed.
+func (s *Sim) Fired() uint64 { return s.fired }
+
+// Pending reports how many events are scheduled.
+func (s *Sim) Pending() int { return len(s.events) }
+
+// At schedules fn at absolute time t (>= now).
+func (s *Sim) At(t simtime.Time, fn func(now simtime.Time)) (*Event, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("des: nil event callback")
+	}
+	if t < s.now {
+		return nil, fmt.Errorf("des: scheduling in the past (%d < %d)", t, s.now)
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e, nil
+}
+
+// After schedules fn d from now.
+func (s *Sim) After(d simtime.Duration, fn func(now simtime.Time)) (*Event, error) {
+	if d < 0 {
+		return nil, fmt.Errorf("des: negative delay %d", d)
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Step fires the next event. It reports false when no events remain.
+func (s *Sim) Step() bool {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*Event)
+		if e.dead {
+			continue
+		}
+		s.now = e.at
+		s.fired++
+		e.fn(s.now)
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events until the clock would pass deadline or the event
+// queue drains. Events scheduled exactly at the deadline still fire.
+func (s *Sim) RunUntil(deadline simtime.Time) {
+	for len(s.events) > 0 {
+		// Peek.
+		next := s.events[0]
+		if next.dead {
+			heap.Pop(&s.events)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Run drains the event queue completely (use with self-limiting models).
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// Queue is a FIFO single-server queue with deterministic service: the
+// building block for the memcached server model. Jobs are opaque payloads;
+// the server function returns each job's service time.
+type Queue[T any] struct {
+	sim     *Sim
+	service func(job T, now simtime.Time) simtime.Duration
+	done    func(job T, enq, start, end simtime.Time)
+	waiting []T
+	enqAt   []simtime.Time
+	busy    bool
+	maxLen  int
+}
+
+// NewQueue creates a single-server queue. service computes a job's holding
+// time; done (optional) observes completion with full timestamps.
+func NewQueue[T any](sim *Sim, service func(job T, now simtime.Time) simtime.Duration, done func(job T, enq, start, end simtime.Time)) (*Queue[T], error) {
+	if sim == nil || service == nil {
+		return nil, fmt.Errorf("des: queue needs a sim and a service function")
+	}
+	return &Queue[T]{sim: sim, service: service, done: done}, nil
+}
+
+// Len returns the number of jobs waiting (not counting one in service).
+func (q *Queue[T]) Len() int { return len(q.waiting) }
+
+// MaxLen returns the high-water mark of the wait queue.
+func (q *Queue[T]) MaxLen() int { return q.maxLen }
+
+// Enqueue adds a job at the current time.
+func (q *Queue[T]) Enqueue(job T) {
+	q.waiting = append(q.waiting, job)
+	q.enqAt = append(q.enqAt, q.sim.Now())
+	if len(q.waiting) > q.maxLen {
+		q.maxLen = len(q.waiting)
+	}
+	if !q.busy {
+		q.startNext()
+	}
+}
+
+func (q *Queue[T]) startNext() {
+	if len(q.waiting) == 0 {
+		q.busy = false
+		return
+	}
+	job := q.waiting[0]
+	enq := q.enqAt[0]
+	q.waiting = q.waiting[1:]
+	q.enqAt = q.enqAt[1:]
+	q.busy = true
+	start := q.sim.Now()
+	d := q.service(job, start)
+	if d < 0 {
+		d = 0
+	}
+	_, err := q.sim.After(d, func(now simtime.Time) {
+		if q.done != nil {
+			q.done(job, enq, start, now)
+		}
+		q.startNext()
+	})
+	if err != nil {
+		// After only fails on negative delay, which we clamped.
+		panic(err)
+	}
+}

@@ -1,0 +1,295 @@
+package ept
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/elisa-go/elisa/internal/mem"
+)
+
+func newTestTable(t *testing.T, frames int) (*mem.PhysMem, *Table) {
+	t.Helper()
+	pm := mem.MustNewPhysMem(frames * mem.PageSize)
+	tbl, err := New(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pm, tbl
+}
+
+func TestPermString(t *testing.T) {
+	cases := []struct {
+		p    Perm
+		want string
+	}{
+		{0, "---"}, {PermRead, "r--"}, {PermRW, "rw-"}, {PermRWX, "rwx"}, {PermRX, "r-x"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("%#x.String() = %q, want %q", uint8(c.p), got, c.want)
+		}
+	}
+}
+
+func TestPermCan(t *testing.T) {
+	if !PermRWX.Can(PermRW) || PermRead.Can(PermWrite) || !PermRX.Can(PermExec) {
+		t.Fatal("Perm.Can wrong")
+	}
+}
+
+func TestMapTranslate(t *testing.T) {
+	pm, tbl := newTestTable(t, 64)
+	data, _ := pm.AllocFrame()
+	gpa := mem.GPA(0x1000_0000)
+	if err := tbl.Map(gpa, data.Page(), PermRW); err != nil {
+		t.Fatal(err)
+	}
+	hpa, err := tbl.Translate(gpa+0x123, PermRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := data.Page() + 0x123; hpa != want {
+		t.Fatalf("Translate = %v, want %v", hpa, want)
+	}
+	if tbl.MappedPages() != 1 {
+		t.Fatalf("MappedPages = %d", tbl.MappedPages())
+	}
+}
+
+func TestTranslateUnmappedViolation(t *testing.T) {
+	_, tbl := newTestTable(t, 64)
+	_, err := tbl.Translate(0x5000, PermRead)
+	v, ok := IsViolation(err)
+	if !ok {
+		t.Fatalf("want *Violation, got %v", err)
+	}
+	if v.Allowed != 0 || v.Addr != 0x5000 {
+		t.Fatalf("violation = %+v", v)
+	}
+	if v.Error() == "" {
+		t.Fatal("empty error text")
+	}
+}
+
+func TestTranslatePermissionViolation(t *testing.T) {
+	pm, tbl := newTestTable(t, 64)
+	f, _ := pm.AllocFrame()
+	if err := tbl.Map(0x2000, f.Page(), PermRead); err != nil {
+		t.Fatal(err)
+	}
+	// Write to a read-only page.
+	_, err := tbl.Translate(0x2000, PermWrite)
+	v, ok := IsViolation(err)
+	if !ok || v.Allowed != PermRead {
+		t.Fatalf("want RW violation, got %v", err)
+	}
+	// Execute on a non-executable page — the gate-context enforcement
+	// mechanism.
+	if _, err := tbl.Translate(0x2000, PermExec); err == nil {
+		t.Fatal("exec on r-- page allowed")
+	}
+	// Read still fine.
+	if _, err := tbl.Translate(0x2000, PermRead); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	pm, tbl := newTestTable(t, 64)
+	f, _ := pm.AllocFrame()
+	if err := tbl.Map(0x2001, f.Page(), PermRW); err == nil {
+		t.Error("unaligned GPA accepted")
+	}
+	if err := tbl.Map(0x2000, f.Page()+1, PermRW); err == nil {
+		t.Error("unaligned HPA accepted")
+	}
+	if err := tbl.Map(0x2000, f.Page(), 0); err == nil {
+		t.Error("empty perms accepted")
+	}
+	if err := tbl.Map(0x2000, f.Page(), Perm(0xff)); err == nil {
+		t.Error("garbage perms accepted")
+	}
+}
+
+func TestRemapReplaces(t *testing.T) {
+	pm, tbl := newTestTable(t, 64)
+	f1, _ := pm.AllocFrame()
+	f2, _ := pm.AllocFrame()
+	_ = tbl.Map(0x3000, f1.Page(), PermRW)
+	_ = tbl.Map(0x3000, f2.Page(), PermRead)
+	hpa, perm, err := tbl.Lookup(0x3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hpa != f2.Page() || perm != PermRead {
+		t.Fatalf("after remap: %v %v", hpa, perm)
+	}
+	if tbl.MappedPages() != 1 {
+		t.Fatalf("remap double-counted: %d", tbl.MappedPages())
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	pm, tbl := newTestTable(t, 64)
+	f, _ := pm.AllocFrame()
+	_ = tbl.Map(0x4000, f.Page(), PermRWX)
+	if err := tbl.Unmap(0x4000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Translate(0x4000, PermRead); err == nil {
+		t.Fatal("translation survived unmap")
+	}
+	if err := tbl.Unmap(0x4000); err == nil {
+		t.Fatal("double unmap accepted")
+	}
+	if tbl.MappedPages() != 0 {
+		t.Fatalf("MappedPages = %d", tbl.MappedPages())
+	}
+}
+
+func TestProtect(t *testing.T) {
+	pm, tbl := newTestTable(t, 64)
+	f, _ := pm.AllocFrame()
+	_ = tbl.Map(0x6000, f.Page(), PermRW)
+	if err := tbl.Protect(0x6000, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Translate(0x6000, PermWrite); err == nil {
+		t.Fatal("write allowed after Protect(r--)")
+	}
+	if err := tbl.Protect(0x7000, PermRead); err == nil {
+		t.Fatal("Protect of unmapped page accepted")
+	}
+	if err := tbl.Protect(0x6000, 0); err == nil {
+		t.Fatal("Protect with empty perms accepted")
+	}
+}
+
+func TestSparseAddressesDoNotCollide(t *testing.T) {
+	pm, tbl := newTestTable(t, 256)
+	// Addresses that differ only in high-level indices.
+	addrs := []mem.GPA{
+		0x0000_0000_0000_1000,
+		0x0000_0000_4000_1000, // different PDPT index
+		0x0000_7F80_0000_1000, // different PML4 index
+		0x0000_0000_0020_1000, // different PD index
+	}
+	frames := make([]mem.HFN, len(addrs))
+	for i, a := range addrs {
+		f, err := pm.AllocFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames[i] = f
+		if err := tbl.Map(a, f.Page(), PermRW); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, a := range addrs {
+		hpa, _, err := tbl.Lookup(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hpa != frames[i].Page() {
+			t.Fatalf("addr %v -> %v, want %v", a, hpa, frames[i].Page())
+		}
+	}
+}
+
+func TestMapRange(t *testing.T) {
+	pm, tbl := newTestTable(t, 64)
+	frames, err := pm.AllocFrames(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.MapRange(0x10000, frames, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range frames {
+		hpa, perm, err := tbl.Lookup(mem.GPA(0x10000 + i*mem.PageSize))
+		if err != nil || hpa != f.Page() || perm != PermRW {
+			t.Fatalf("page %d: %v %v %v", i, hpa, perm, err)
+		}
+	}
+	if err := tbl.MapRange(0x10001, frames, PermRW); err == nil {
+		t.Fatal("unaligned MapRange accepted")
+	}
+}
+
+func TestDestroyFreesTableFrames(t *testing.T) {
+	pm := mem.MustNewPhysMem(64 * mem.PageSize)
+	before := pm.FreeFrames()
+	tbl, err := New(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := pm.AllocFrame()
+	_ = tbl.Map(0x1000, data.Page(), PermRW)
+	if tbl.TableFrames() != 4 { // root + 3 intermediates for one mapping
+		t.Fatalf("TableFrames = %d, want 4", tbl.TableFrames())
+	}
+	if err := tbl.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything back except the data frame, which we still own.
+	if got := pm.FreeFrames(); got != before-1 {
+		t.Fatalf("after Destroy: free=%d, want %d", got, before-1)
+	}
+}
+
+// Two tables over the same physical memory are fully independent — the
+// EPT-separation property ELISA's isolation is built on.
+func TestTablesAreIndependentContexts(t *testing.T) {
+	pm := mem.MustNewPhysMem(128 * mem.PageSize)
+	t1, _ := New(pm)
+	t2, _ := New(pm)
+	shared, _ := pm.AllocFrame()
+	secret, _ := pm.AllocFrame()
+
+	_ = t1.Map(0x1000, shared.Page(), PermRW)
+	_ = t1.Map(0x2000, secret.Page(), PermRW)
+	_ = t2.Map(0x1000, shared.Page(), PermRead) // same object, weaker rights
+
+	// Context 2 cannot reach the secret at all.
+	if _, err := t2.Translate(0x2000, PermRead); err == nil {
+		t.Fatal("context 2 reached context 1's private page")
+	}
+	// Context 2 cannot write the shared object.
+	if _, err := t2.Translate(0x1000, PermWrite); err == nil {
+		t.Fatal("context 2 wrote a read-only grant")
+	}
+	// Both resolve the shared page to the same frame.
+	h1, _ := t1.Translate(0x1000, PermRead)
+	h2, _ := t2.Translate(0x1000, PermRead)
+	if h1 != h2 {
+		t.Fatalf("shared page resolves differently: %v vs %v", h1, h2)
+	}
+}
+
+// Property: for random page-aligned GPAs, Map then Translate returns the
+// mapped frame plus the offset, and Unmap restores the violation.
+func TestMapTranslateProperty(t *testing.T) {
+	pm := mem.MustNewPhysMem(2048 * mem.PageSize)
+	tbl, _ := New(pm)
+	data, _ := pm.AllocFrame()
+	f := func(page uint32, off uint16) bool {
+		gpa := mem.GPA(page) << mem.PageShift
+		o := mem.GPA(off) & mem.PageMask
+		if err := tbl.Map(gpa, data.Page(), PermRW); err != nil {
+			return false
+		}
+		hpa, err := tbl.Translate(gpa+o, PermRW)
+		if err != nil || hpa != data.Page()+mem.HPA(o) {
+			return false
+		}
+		if err := tbl.Unmap(gpa); err != nil {
+			return false
+		}
+		_, err = tbl.Translate(gpa+o, PermRead)
+		_, isV := IsViolation(err)
+		return isV
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+package ept
+
+import (
+	"fmt"
+
+	"github.com/elisa-go/elisa/internal/mem"
+)
+
+// ListEntries is the number of EPTP slots in an EPTP list page
+// (512 eight-byte entries, one 4 KiB page, per the Intel SDM).
+const ListEntries = 512
+
+// List is an EPTP list: the page of up to 512 EPT pointers that VMFUNC
+// leaf 0 may switch between. The hypervisor allocates one per VM that has
+// VMFUNC enabled and retains the only write access; guests can only ask
+// VMFUNC to activate an index.
+//
+// Conventionally (and enforced by package core):
+//
+//	index 0 — the guest's default EPT context
+//	index 1 — the gate EPT context
+//	index 2+ — sub EPT contexts granted by the manager
+type List struct {
+	pm    *mem.PhysMem
+	frame mem.HFN
+}
+
+// NewList allocates a zeroed EPTP list page.
+func NewList(pm *mem.PhysMem) (*List, error) {
+	f, err := pm.AllocFrame()
+	if err != nil {
+		return nil, fmt.Errorf("ept: allocating EPTP list: %w", err)
+	}
+	return &List{pm: pm, frame: f}, nil
+}
+
+// Addr returns the host-physical address of the list page (what the VMCS
+// EPTP_LIST_ADDRESS field would hold).
+func (l *List) Addr() mem.HPA { return l.frame.Page() }
+
+func (l *List) slot(index int) (mem.HPA, error) {
+	if index < 0 || index >= ListEntries {
+		return 0, fmt.Errorf("ept: EPTP list index %d out of range [0,%d)", index, ListEntries)
+	}
+	return l.frame.Page() + mem.HPA(index*entrySize), nil
+}
+
+// Set installs an EPTP at the given index. Setting NilPointer revokes the
+// slot.
+func (l *List) Set(index int, p Pointer) error {
+	a, err := l.slot(index)
+	if err != nil {
+		return err
+	}
+	return l.pm.WriteU64(a, uint64(p))
+}
+
+// Get reads the EPTP at the given index. A zero value means the slot is
+// empty (VMFUNC to it faults).
+func (l *List) Get(index int) (Pointer, error) {
+	a, err := l.slot(index)
+	if err != nil {
+		return 0, err
+	}
+	v, err := l.pm.ReadU64(a)
+	return Pointer(v), err
+}
+
+// Revoke clears the slot at index. Idempotent.
+func (l *List) Revoke(index int) error { return l.Set(index, NilPointer) }
+
+// Destroy frees the list page.
+func (l *List) Destroy() error { return l.pm.FreeFrame(l.frame) }

@@ -1,0 +1,177 @@
+package ept
+
+import (
+	"testing"
+
+	"github.com/elisa-go/elisa/internal/mem"
+)
+
+func TestEPTPList(t *testing.T) {
+	pm := mem.MustNewPhysMem(16 * mem.PageSize)
+	l, err := NewList(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, _ := New(pm)
+	t2, _ := New(pm)
+
+	if err := l.Set(0, t1.Pointer()); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Set(511, t2.Pointer()); err != nil {
+		t.Fatal(err)
+	}
+	p0, err := l.Get(0)
+	if err != nil || p0 != t1.Pointer() {
+		t.Fatalf("Get(0) = %v, %v", p0, err)
+	}
+	p511, _ := l.Get(511)
+	if p511 != t2.Pointer() {
+		t.Fatalf("Get(511) = %v", p511)
+	}
+	// Empty slot reads as nil pointer.
+	p5, _ := l.Get(5)
+	if p5 != NilPointer {
+		t.Fatalf("empty slot = %v", p5)
+	}
+	// Out of range indices rejected.
+	if err := l.Set(512, t1.Pointer()); err == nil {
+		t.Error("Set(512) accepted")
+	}
+	if _, err := l.Get(-1); err == nil {
+		t.Error("Get(-1) accepted")
+	}
+	// Revocation.
+	if err := l.Revoke(0); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := l.Get(0); p != NilPointer {
+		t.Fatalf("slot survived revoke: %v", p)
+	}
+	if err := l.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEPTPListIsBackedByPhysicalMemory(t *testing.T) {
+	// The list must live in simulated physical memory (the VMCS points at
+	// a real page), so reading the page raw shows the entries.
+	pm := mem.MustNewPhysMem(16 * mem.PageSize)
+	l, _ := NewList(pm)
+	tbl, _ := New(pm)
+	_ = l.Set(3, tbl.Pointer())
+	raw, err := pm.ReadU64(l.Addr() + 3*8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Pointer(raw) != tbl.Pointer() {
+		t.Fatalf("raw read %#x, want %v", raw, tbl.Pointer())
+	}
+}
+
+func TestTLBHitMiss(t *testing.T) {
+	tlb := NewTLB(4)
+	eptp := Pointer(0x1000)
+	if _, _, ok := tlb.Lookup(eptp, 7); ok {
+		t.Fatal("hit on empty TLB")
+	}
+	tlb.Insert(eptp, 7, 0x9000, PermRW)
+	hpa, perm, ok := tlb.Lookup(eptp, 7)
+	if !ok || hpa != 0x9000 || perm != PermRW {
+		t.Fatalf("lookup: %v %v %v", hpa, perm, ok)
+	}
+	hits, misses := tlb.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats: %d/%d", hits, misses)
+	}
+}
+
+// Tagging: the same GFN under two EPTPs are distinct entries, and switching
+// EPTP does not flush — the property that keeps ELISA's working set warm.
+func TestTLBTaggedAcrossContexts(t *testing.T) {
+	tlb := NewTLB(8)
+	a, b := Pointer(0x1000), Pointer(0x2000)
+	tlb.Insert(a, 5, 0xa000, PermRW)
+	tlb.Insert(b, 5, 0xb000, PermRead)
+	ha, _, _ := tlb.Lookup(a, 5)
+	hb, _, _ := tlb.Lookup(b, 5)
+	if ha != 0xa000 || hb != 0xb000 {
+		t.Fatalf("tagged entries collided: %v %v", ha, hb)
+	}
+}
+
+func TestTLBInvalidation(t *testing.T) {
+	tlb := NewTLB(8)
+	a, b := Pointer(0x1000), Pointer(0x2000)
+	tlb.Insert(a, 1, 0xa000, PermRW)
+	tlb.Insert(a, 2, 0xa000, PermRW)
+	tlb.Insert(b, 1, 0xb000, PermRW)
+
+	tlb.InvalidatePage(a, 1)
+	if _, _, ok := tlb.Lookup(a, 1); ok {
+		t.Fatal("entry survived InvalidatePage")
+	}
+	if _, _, ok := tlb.Lookup(a, 2); !ok {
+		t.Fatal("InvalidatePage hit the wrong page")
+	}
+
+	tlb.InvalidateContext(a)
+	if _, _, ok := tlb.Lookup(a, 2); ok {
+		t.Fatal("entry survived InvalidateContext")
+	}
+	if _, _, ok := tlb.Lookup(b, 1); !ok {
+		t.Fatal("InvalidateContext hit the wrong context")
+	}
+
+	tlb.Flush()
+	if tlb.Len() != 0 {
+		t.Fatalf("Flush left %d entries", tlb.Len())
+	}
+}
+
+func TestTLBEviction(t *testing.T) {
+	tlb := NewTLB(2)
+	p := Pointer(0x1000)
+	tlb.Insert(p, 1, 0x1000, PermRW)
+	tlb.Insert(p, 2, 0x2000, PermRW)
+	tlb.Insert(p, 3, 0x3000, PermRW) // evicts gfn 1 (FIFO)
+	if tlb.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tlb.Len())
+	}
+	if _, _, ok := tlb.Lookup(p, 1); ok {
+		t.Fatal("FIFO victim still resident")
+	}
+	if _, _, ok := tlb.Lookup(p, 3); !ok {
+		t.Fatal("new entry missing")
+	}
+}
+
+func TestTLBInsertExistingUpdates(t *testing.T) {
+	tlb := NewTLB(2)
+	p := Pointer(0x1000)
+	tlb.Insert(p, 1, 0x1000, PermRead)
+	tlb.Insert(p, 1, 0x1000, PermRW) // permission upgrade after Protect
+	_, perm, _ := tlb.Lookup(p, 1)
+	if perm != PermRW {
+		t.Fatalf("perm = %v", perm)
+	}
+	if tlb.Len() != 1 {
+		t.Fatalf("duplicate insert grew TLB: %d", tlb.Len())
+	}
+}
+
+func TestTLBEvictionLongRun(t *testing.T) {
+	// Exercise the lazy ring compaction: many more inserts than capacity.
+	tlb := NewTLB(16)
+	p := Pointer(0x1000)
+	for i := 0; i < 1000; i++ {
+		tlb.Insert(p, mem.GFN(i), mem.HPA(i)<<mem.PageShift, PermRW)
+		if tlb.Len() > 16 {
+			t.Fatalf("TLB overflow at %d: %d", i, tlb.Len())
+		}
+	}
+	// The most recent entry must be resident.
+	if _, _, ok := tlb.Lookup(p, 999); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+}

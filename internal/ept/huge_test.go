@@ -1,0 +1,187 @@
+package ept
+
+import (
+	"testing"
+
+	"github.com/elisa-go/elisa/internal/mem"
+)
+
+// hugeFixture allocates a contiguous, aligned 2MiB backing run.
+func hugeFixture(t *testing.T) (*mem.PhysMem, *Table, []mem.HFN) {
+	t.Helper()
+	pm := mem.MustNewPhysMem(2048 * mem.PageSize) // 8 MiB
+	tbl, err := New(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err := pm.AllocFramesContiguous(512, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pm, tbl, frames
+}
+
+func TestMap2MTranslate(t *testing.T) {
+	pm, tbl, frames := hugeFixture(t)
+	gpa := mem.GPA(HugePageSize) // 2MiB-aligned
+	if err := tbl.Map2M(gpa, frames[0].Page(), PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.MappedPages() != 512 {
+		t.Fatalf("MappedPages = %d, want 512", tbl.MappedPages())
+	}
+	// Translation anywhere inside the 2MiB window works, with correct
+	// intra-page offsets.
+	for _, off := range []uint64{0, 0x1000, 0x1234, HugePageSize - 1} {
+		hpa, err := tbl.Translate(gpa+mem.GPA(off), PermRead)
+		if err != nil {
+			t.Fatalf("offset %#x: %v", off, err)
+		}
+		if want := frames[0].Page() + mem.HPA(off); hpa != want {
+			t.Fatalf("offset %#x -> %v, want %v", off, hpa, want)
+		}
+	}
+	// Resolve (the vCPU path) agrees, and reports the granularity.
+	base, perm, pageBytes, err := ResolvePage(pm, tbl.Pointer(), gpa+0x5000)
+	if err != nil || perm != PermRW || pageBytes != HugePageSize || base != frames[0].Page() {
+		t.Fatalf("ResolvePage: %v %v %d %v", base, perm, pageBytes, err)
+	}
+	// The table structure is tiny: root + PDPT + PD = 3 frames.
+	if tbl.TableFrames() != 3 {
+		t.Fatalf("TableFrames = %d, want 3", tbl.TableFrames())
+	}
+}
+
+func TestMap2MValidation(t *testing.T) {
+	_, tbl, frames := hugeFixture(t)
+	if err := tbl.Map2M(0x1000, frames[0].Page(), PermRW); err == nil {
+		t.Error("unaligned GPA accepted")
+	}
+	if err := tbl.Map2M(HugePageSize, frames[0].Page()+mem.PageSize, PermRW); err == nil {
+		t.Error("unaligned HPA accepted")
+	}
+	if err := tbl.Map2M(HugePageSize, frames[0].Page(), 0); err == nil {
+		t.Error("zero perms accepted")
+	}
+}
+
+func TestMap2MDoesNotClobber4K(t *testing.T) {
+	pm, tbl, frames := hugeFixture(t)
+	small, _ := pm.AllocFrame()
+	// A 4KiB mapping inside the window blocks a 2MiB overlay.
+	if err := tbl.Map(HugePageSize+0x3000, small.Page(), PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Map2M(HugePageSize, frames[0].Page(), PermRW); err == nil {
+		t.Fatal("2MiB entry overlaid existing 4KiB mappings")
+	}
+}
+
+func TestUnmap2M(t *testing.T) {
+	_, tbl, frames := hugeFixture(t)
+	gpa := mem.GPA(2 * HugePageSize)
+	_ = tbl.Map2M(gpa, frames[0].Page(), PermRW)
+	// 4KiB unmap refuses a large entry.
+	if err := tbl.Unmap(gpa); err == nil {
+		t.Fatal("Unmap removed a 2MiB entry")
+	}
+	if err := tbl.Unmap2M(gpa + 0x1000); err == nil {
+		t.Fatal("unaligned Unmap2M accepted")
+	}
+	if err := tbl.Unmap2M(gpa); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.MappedPages() != 0 {
+		t.Fatalf("MappedPages = %d", tbl.MappedPages())
+	}
+	if _, err := tbl.Translate(gpa, PermRead); err == nil {
+		t.Fatal("translation survived Unmap2M")
+	}
+	if err := tbl.Unmap2M(gpa); err == nil {
+		t.Fatal("double Unmap2M accepted")
+	}
+}
+
+func TestProtect2M(t *testing.T) {
+	_, tbl, frames := hugeFixture(t)
+	gpa := mem.GPA(HugePageSize)
+	_ = tbl.Map2M(gpa, frames[0].Page(), PermRW)
+	if err := tbl.Protect(gpa+0x4000, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Translate(gpa+0x8000, PermWrite); err == nil {
+		t.Fatal("write allowed after Protect(r--) on large page")
+	}
+	// Still a large mapping (granularity preserved).
+	_, _, pageBytes, _ := ResolvePage(tbl.pm, tbl.Pointer(), gpa)
+	if pageBytes != HugePageSize {
+		t.Fatalf("Protect split the mapping: %d", pageBytes)
+	}
+}
+
+func TestVisitReportsLargeMappings(t *testing.T) {
+	pm, tbl, frames := hugeFixture(t)
+	small, _ := pm.AllocFrame()
+	_ = tbl.Map2M(HugePageSize, frames[0].Page(), PermRW)
+	_ = tbl.Map(0x1000, small.Page(), PermRX)
+	ms, err := tbl.Mappings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("mappings = %d: %+v", len(ms), ms)
+	}
+	if ms[0].Bytes != mem.PageSize || ms[1].Bytes != HugePageSize {
+		t.Fatalf("granularities: %d %d", ms[0].Bytes, ms[1].Bytes)
+	}
+}
+
+func TestMapRange2M(t *testing.T) {
+	pm := mem.MustNewPhysMem(4096 * mem.PageSize)
+	tbl, _ := New(pm)
+	frames, err := pm.AllocFramesContiguous(1024, 512) // 4 MiB
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.MapRange2M(0, frames, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.MappedPages() != 1024 {
+		t.Fatalf("MappedPages = %d", tbl.MappedPages())
+	}
+	hpa, err := tbl.Translate(mem.GPA(HugePageSize+0x2345), PermRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := frames[512].Page() + 0x2345; hpa != want {
+		t.Fatalf("second huge page: %v want %v", hpa, want)
+	}
+	if err := tbl.MapRange2M(0, frames[:100], PermRW); err == nil {
+		t.Fatal("partial huge page accepted")
+	}
+}
+
+func TestTLBLargeEntryReach(t *testing.T) {
+	tlb := NewTLB(64)
+	p := Pointer(0x1000)
+	// One large entry answers for all 512 small pages inside it.
+	tlb.InsertLarge(p, 3, 0x40000000, PermRW) // covers gfns [3*512, 4*512)
+	for _, gfn := range []mem.GFN{3 * 512, 3*512 + 1, 3*512 + 511} {
+		hpa, perm, ok := tlb.Lookup(p, gfn)
+		if !ok || perm != PermRW {
+			t.Fatalf("gfn %d missed", gfn)
+		}
+		want := mem.HPA(0x40000000) + mem.HPA(gfn-3*512)<<mem.PageShift
+		if hpa != want {
+			t.Fatalf("gfn %d -> %v, want %v", gfn, hpa, want)
+		}
+	}
+	if _, _, ok := tlb.Lookup(p, 4*512); ok {
+		t.Fatal("hit outside the large page")
+	}
+	// Flush clears large entries too.
+	tlb.Flush()
+	if tlb.Len() != 0 {
+		t.Fatalf("Len after flush = %d", tlb.Len())
+	}
+}

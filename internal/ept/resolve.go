@@ -1,0 +1,58 @@
+package ept
+
+import (
+	"github.com/elisa-go/elisa/internal/mem"
+)
+
+// Resolve walks the EPT rooted at p — exactly what the address-translation
+// hardware does with the active EPTP — and resolves gpa for the given
+// access. Unlike Table.Translate it needs no *Table handle: a vCPU only
+// holds an EPTP (a physical address), so after a VMFUNC switch it can walk
+// whatever tables that pointer designates, whether or not the hypervisor
+// still has the owning Table in hand.
+//
+// It returns the translated host-physical address. A missing or
+// insufficient mapping returns a *Violation; other errors indicate a
+// corrupt EPTP (walking outside physical memory).
+func Resolve(pm *mem.PhysMem, p Pointer, gpa mem.GPA, access Perm) (mem.HPA, error) {
+	base, perm, pageBytes, err := ResolvePage(pm, p, gpa)
+	if err != nil {
+		return 0, err
+	}
+	if perm == 0 {
+		return 0, &Violation{Addr: gpa, Access: access, Level: 1}
+	}
+	if !perm.Can(access) {
+		return 0, &Violation{Addr: gpa, Access: access, Allowed: perm}
+	}
+	return base + mem.HPA(uint64(gpa)%uint64(pageBytes)), nil
+}
+
+// ResolvePage walks the EPT rooted at p and returns the mapping base, the
+// permissions, and the mapping granularity (mem.PageSize or HugePageSize)
+// for the address. perm 0 means unmapped (pageBytes is then PageSize).
+func ResolvePage(pm *mem.PhysMem, p Pointer, gpa mem.GPA) (mem.HPA, Perm, int, error) {
+	ix := indices(gpa)
+	table := mem.HPA(p).Frame()
+	for l := 0; l < levels-1; l++ {
+		e, err := pm.ReadU64(entryAddr(table, ix[l]))
+		if err != nil {
+			return 0, 0, mem.PageSize, err
+		}
+		if e&permMask == 0 {
+			return 0, 0, mem.PageSize, nil
+		}
+		if l == pdLevel && e&largeBit != 0 {
+			return mem.HPA(e & frameMask), Perm(e & permMask), HugePageSize, nil
+		}
+		table = mem.HPA(e & frameMask).Frame()
+	}
+	e, err := pm.ReadU64(entryAddr(table, ix[levels-1]))
+	if err != nil {
+		return 0, 0, mem.PageSize, err
+	}
+	if e&permMask == 0 {
+		return 0, 0, mem.PageSize, nil
+	}
+	return mem.HPA(e & frameMask), Perm(e & permMask), mem.PageSize, nil
+}

@@ -1,0 +1,167 @@
+package ept
+
+import (
+	"github.com/elisa-go/elisa/internal/mem"
+)
+
+// TLB models a tagged translation cache. Entries are keyed by
+// (EPTP, guest frame), so — like real hardware with VPID/EP4TA tagging —
+// a VMFUNC EPTP switch does not flush the cache. This matters for the
+// performance argument: if each ELISA call flushed the TLB, the exit-less
+// advantage would shrink, and the paper's hardware keeps translations warm.
+//
+// The cache is a bounded map with FIFO eviction; the model only needs to
+// distinguish "warm" from "cold" translations, not replacement subtleties.
+type TLB struct {
+	capacity int
+	entries  map[tlbKey]tlbVal
+	order    []tlbKey // FIFO ring of resident keys
+	head     int
+
+	// Large (2MiB) entries are a separate, smaller array on real parts;
+	// one large entry covers 512 small ones, which is the hugepage TLB
+	// -reach win the ablation measures.
+	largeCap     int
+	largeEntries map[tlbKey]tlbVal
+	largeOrder   []tlbKey
+	largeHead    int
+
+	hits   uint64
+	misses uint64
+}
+
+type tlbKey struct {
+	eptp Pointer
+	gfn  mem.GFN
+}
+
+type tlbVal struct {
+	frame mem.HPA
+	perm  Perm
+}
+
+// DefaultTLBCapacity is sized like a contemporary STLB (1536 4 KiB entries).
+const DefaultTLBCapacity = 1536
+
+// NewTLB creates a TLB with the given entry capacity (<=0 picks the default).
+func NewTLB(capacity int) *TLB {
+	if capacity <= 0 {
+		capacity = DefaultTLBCapacity
+	}
+	largeCap := capacity / 16
+	if largeCap < 4 {
+		largeCap = 4
+	}
+	return &TLB{
+		capacity:     capacity,
+		entries:      make(map[tlbKey]tlbVal, capacity),
+		order:        make([]tlbKey, 0, capacity),
+		largeCap:     largeCap,
+		largeEntries: make(map[tlbKey]tlbVal, largeCap),
+	}
+}
+
+// Lookup returns the cached translation for gfn under eptp, consulting
+// both the 4KiB and the 2MiB arrays.
+func (t *TLB) Lookup(eptp Pointer, gfn mem.GFN) (mem.HPA, Perm, bool) {
+	if v, ok := t.entries[tlbKey{eptp, gfn}]; ok {
+		t.hits++
+		return v.frame, v.perm, true
+	}
+	if v, ok := t.largeEntries[tlbKey{eptp, gfn >> 9}]; ok {
+		t.hits++
+		in := mem.HPA(gfn&0x1ff) << mem.PageShift
+		return v.frame + in, v.perm, true
+	}
+	t.misses++
+	return 0, 0, false
+}
+
+// Insert caches a translation, evicting the oldest entry if full.
+func (t *TLB) Insert(eptp Pointer, gfn mem.GFN, frame mem.HPA, perm Perm) {
+	k := tlbKey{eptp, gfn}
+	if _, exists := t.entries[k]; exists {
+		t.entries[k] = tlbVal{frame, perm}
+		return
+	}
+	if len(t.entries) >= t.capacity {
+		// Evict FIFO head; skip keys already invalidated.
+		for len(t.order) > t.head {
+			victim := t.order[t.head]
+			t.head++
+			if _, ok := t.entries[victim]; ok {
+				delete(t.entries, victim)
+				break
+			}
+		}
+		if t.head > t.capacity { // compact the ring lazily
+			t.order = append(t.order[:0], t.order[t.head:]...)
+			t.head = 0
+		}
+	}
+	t.entries[k] = tlbVal{frame, perm}
+	t.order = append(t.order, k)
+}
+
+// InvalidatePage drops the translation for one page in one context
+// (INVEPT single-context, page-granular).
+func (t *TLB) InvalidatePage(eptp Pointer, gfn mem.GFN) {
+	delete(t.entries, tlbKey{eptp, gfn})
+}
+
+// InvalidateContext drops every translation tagged with eptp
+// (INVEPT single-context).
+func (t *TLB) InvalidateContext(eptp Pointer) {
+	for k := range t.entries {
+		if k.eptp == eptp {
+			delete(t.entries, k)
+		}
+	}
+	for k := range t.largeEntries {
+		if k.eptp == eptp {
+			delete(t.largeEntries, k)
+		}
+	}
+}
+
+// Flush drops everything (INVEPT global).
+func (t *TLB) Flush() {
+	clear(t.entries)
+	t.order = t.order[:0]
+	t.head = 0
+	clear(t.largeEntries)
+	t.largeOrder = t.largeOrder[:0]
+	t.largeHead = 0
+}
+
+// InsertLarge caches a 2MiB translation: gfn2m is the large-page frame
+// number (GPA >> 21), frame the host base of the 2MiB region.
+func (t *TLB) InsertLarge(eptp Pointer, gfn2m mem.GFN, frame mem.HPA, perm Perm) {
+	k := tlbKey{eptp, gfn2m}
+	if _, exists := t.largeEntries[k]; exists {
+		t.largeEntries[k] = tlbVal{frame, perm}
+		return
+	}
+	if len(t.largeEntries) >= t.largeCap {
+		for len(t.largeOrder) > t.largeHead {
+			victim := t.largeOrder[t.largeHead]
+			t.largeHead++
+			if _, ok := t.largeEntries[victim]; ok {
+				delete(t.largeEntries, victim)
+				break
+			}
+		}
+		if t.largeHead > t.largeCap {
+			t.largeOrder = append(t.largeOrder[:0], t.largeOrder[t.largeHead:]...)
+			t.largeHead = 0
+		}
+	}
+	t.largeEntries[k] = tlbVal{frame, perm}
+	t.largeOrder = append(t.largeOrder, k)
+}
+
+// Stats reports hit/miss counts since creation.
+func (t *TLB) Stats() (hits, misses uint64) { return t.hits, t.misses }
+
+// Len reports the number of resident entries (both granularities).
+func (t *TLB) Len() int { return len(t.entries) + len(t.largeEntries) }

@@ -1,0 +1,98 @@
+package ept
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/elisa-go/elisa/internal/mem"
+)
+
+// Mapping is one leaf translation of an EPT context.
+type Mapping struct {
+	GPA  mem.GPA
+	HPA  mem.HPA
+	Perm Perm
+	// Bytes is the mapping granularity: mem.PageSize or HugePageSize.
+	Bytes int
+}
+
+// Visit walks every mapped page of the table in ascending GPA order and
+// invokes fn; returning false stops the walk. This is the audit primitive:
+// isolation tests enumerate a context's *complete* mapping set and assert
+// nothing unexpected is reachable.
+func (t *Table) Visit(fn func(m Mapping) bool) error {
+	return visitLevel(t.pm, t.root, 0, 0, fn)
+}
+
+func visitLevel(pm *mem.PhysMem, table mem.HFN, level int, gpaBase uint64, fn func(Mapping) bool) error {
+	shift := mem.PageShift + 9*(levels-1-level)
+	for i := 0; i < entriesPerTable; i++ {
+		e, err := pm.ReadU64(entryAddr(table, i))
+		if err != nil {
+			return err
+		}
+		if e&permMask == 0 {
+			continue
+		}
+		gpa := gpaBase | uint64(i)<<shift
+		if level == levels-1 {
+			if !fn(Mapping{GPA: mem.GPA(gpa), HPA: mem.HPA(e & frameMask), Perm: Perm(e & permMask), Bytes: mem.PageSize}) {
+				return nil
+			}
+			continue
+		}
+		if level == pdLevel && e&largeBit != 0 {
+			if !fn(Mapping{GPA: mem.GPA(gpa), HPA: mem.HPA(e & frameMask), Perm: Perm(e & permMask), Bytes: HugePageSize}) {
+				return nil
+			}
+			continue
+		}
+		if err := visitLevel(pm, mem.HPA(e&frameMask).Frame(), level+1, gpa, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Mappings returns the complete sorted mapping list of the context.
+func (t *Table) Mappings() ([]Mapping, error) {
+	var out []Mapping
+	if err := t.Visit(func(m Mapping) bool {
+		out = append(out, m)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].GPA < out[j].GPA })
+	return out, nil
+}
+
+// Dump renders the context as contiguous ranges, one line each — the
+// inspection format used by debugging tools and examples.
+func (t *Table) Dump() (string, error) {
+	ms, err := t.Mappings()
+	if err != nil {
+		return "", err
+	}
+	if len(ms) == 0 {
+		return "(empty context)\n", nil
+	}
+	var b []byte
+	flush := func(start, end Mapping, pages int) {
+		b = append(b, fmt.Sprintf("%012x..%012x -> %012x %s (%d pages)\n",
+			uint64(start.GPA), uint64(end.GPA)+uint64(end.Bytes)-1, uint64(start.HPA), start.Perm, pages)...)
+	}
+	runStart, prev, pages := ms[0], ms[0], 1
+	for _, m := range ms[1:] {
+		contiguous := m.GPA == prev.GPA+mem.GPA(prev.Bytes) &&
+			m.HPA == prev.HPA+mem.HPA(prev.Bytes) && m.Perm == prev.Perm && m.Bytes == prev.Bytes
+		if contiguous {
+			prev, pages = m, pages+1
+			continue
+		}
+		flush(runStart, prev, pages)
+		runStart, prev, pages = m, m, 1
+	}
+	flush(runStart, prev, pages)
+	return string(b), nil
+}

@@ -1,0 +1,136 @@
+package ept
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/elisa-go/elisa/internal/mem"
+)
+
+func TestVisitEmpty(t *testing.T) {
+	_, tbl := newTestTable(t, 32)
+	ms, err := tbl.Mappings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 0 {
+		t.Fatalf("empty table has %d mappings", len(ms))
+	}
+	d, err := tbl.Dump()
+	if err != nil || !strings.Contains(d, "empty") {
+		t.Fatalf("dump: %q %v", d, err)
+	}
+}
+
+func TestVisitEnumeratesExactly(t *testing.T) {
+	pm, tbl := newTestTable(t, 128)
+	want := map[mem.GPA]Perm{}
+	addrs := []mem.GPA{0x1000, 0x2000, 0x4000_0000, 0x7F80_0000_1000}
+	perms := []Perm{PermRead, PermRW, PermRX, PermRWX}
+	for i, a := range addrs {
+		f, _ := pm.AllocFrame()
+		if err := tbl.Map(a, f.Page(), perms[i]); err != nil {
+			t.Fatal(err)
+		}
+		want[a] = perms[i]
+	}
+	ms, err := tbl.Mappings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(want) {
+		t.Fatalf("got %d mappings, want %d", len(ms), len(want))
+	}
+	for _, m := range ms {
+		if want[m.GPA] != m.Perm {
+			t.Fatalf("mapping %+v unexpected", m)
+		}
+		// Cross-check against point lookup.
+		hpa, perm, _ := tbl.Lookup(m.GPA)
+		if hpa != m.HPA || perm != m.Perm {
+			t.Fatalf("Visit disagrees with Lookup at %v", m.GPA)
+		}
+	}
+	// Sorted ascending.
+	if !sort.SliceIsSorted(ms, func(i, j int) bool { return ms[i].GPA < ms[j].GPA }) {
+		t.Fatal("mappings not sorted")
+	}
+}
+
+func TestVisitEarlyStop(t *testing.T) {
+	pm, tbl := newTestTable(t, 64)
+	for i := 0; i < 5; i++ {
+		f, _ := pm.AllocFrame()
+		_ = tbl.Map(mem.GPA(0x1000*(i+1)), f.Page(), PermRW)
+	}
+	n := 0
+	if err := tbl.Visit(func(Mapping) bool { n++; return n < 3 }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestDumpCoalescesRanges(t *testing.T) {
+	pm, tbl := newTestTable(t, 64)
+	frames, _ := pm.AllocFrames(4)
+	// Frames are consecutive, so one contiguous RW run...
+	if err := tbl.MapRange(0x10000, frames, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	// ...plus a separate RX page.
+	f, _ := pm.AllocFrame()
+	_ = tbl.Map(0x9000_0000, f.Page(), PermRX)
+	d, err := tbl.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(d, "(4 pages)") {
+		t.Fatalf("range not coalesced:\n%s", d)
+	}
+	if !strings.Contains(d, "r-x (1 pages)") {
+		t.Fatalf("rx page missing:\n%s", d)
+	}
+	if lines := strings.Count(d, "\n"); lines != 2 {
+		t.Fatalf("want 2 ranges, got %d:\n%s", lines, d)
+	}
+}
+
+// Property: Visit enumerates exactly the pages that were mapped, for
+// random page sets.
+func TestVisitMatchesModel(t *testing.T) {
+	pm := mem.MustNewPhysMem(4096 * mem.PageSize)
+	f := func(pages []uint16) bool {
+		tbl, err := New(pm)
+		if err != nil {
+			return false
+		}
+		defer func() { _ = tbl.Destroy() }()
+		frame, _ := pm.AllocFrame()
+		defer func() { _ = pm.FreeFrame(frame) }()
+		model := map[mem.GPA]bool{}
+		for _, p := range pages {
+			gpa := mem.GPA(p) << mem.PageShift
+			if err := tbl.Map(gpa, frame.Page(), PermRW); err != nil {
+				return false
+			}
+			model[gpa] = true
+		}
+		ms, err := tbl.Mappings()
+		if err != nil || len(ms) != len(model) {
+			return false
+		}
+		for _, m := range ms {
+			if !model[m.GPA] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"github.com/elisa-go/elisa/internal/core"
+	"github.com/elisa-go/elisa/internal/simtime"
+	"github.com/elisa-go/elisa/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ablation_callmulti",
+		Title: "Ablation: batched exit-less calls (CallMulti extension)",
+		Paper: "extension beyond the paper: amortising the 196 ns crossing over a request batch, the API analogue of descriptor batching",
+		Run:   runAblationCallMulti,
+	})
+}
+
+func runAblationCallMulti(cfg Config) (*stats.Table, error) {
+	iters := cfg.ops(2000, 200)
+	f, err := newMicroFixture()
+	if err != nil {
+		return nil, err
+	}
+	v := f.vm.VCPU()
+	if _, err := f.h.Call(v, fnNop); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Ablation: per-operation cost [ns] vs batch size (CallMulti)",
+		"Batch", "Call x N", "CallMulti(N)", "Speedup")
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
+		start := v.Clock().Now()
+		for it := 0; it < iters; it++ {
+			for i := 0; i < n; i++ {
+				if _, err := f.h.Call(v, fnNop); err != nil {
+					return nil, err
+				}
+			}
+		}
+		perOpSingle := float64(v.Clock().Elapsed(start)) / float64(iters*n)
+
+		reqs := make([]core.Req, n)
+		for i := range reqs {
+			reqs[i] = core.Req{Fn: fnNop}
+		}
+		start = v.Clock().Now()
+		for it := 0; it < iters; it++ {
+			if err := f.h.CallMulti(v, reqs); err != nil {
+				return nil, err
+			}
+		}
+		perOpBatched := float64(v.Clock().Elapsed(start)) / float64(iters*n)
+		t.AddRow(n, perOpSingle, perOpBatched, perOpSingle/perOpBatched)
+	}
+	t.AddNote("asymptote: one mgr-code fetch per op (%dns); the crossing (%dns) amortises away",
+		1, int64(simtime.Default().ELISARoundTrip()))
+	return t, nil
+}

@@ -1,0 +1,78 @@
+// Package experiments is the benchmark harness: one registered experiment
+// per table and figure in the paper's evaluation (plus the design-choice
+// ablations DESIGN.md calls out), each regenerating the same rows or
+// series the paper reports, on the simulated machine.
+//
+// Absolute numbers are calibrated to the paper's Table 2 (see
+// simtime.CostModel); EXPERIMENTS.md records paper-vs-measured for every
+// artifact. Only relative claims carry over — who wins, by what factor,
+// where the crossovers sit.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/elisa-go/elisa/internal/stats"
+)
+
+// Config tunes experiment scale.
+type Config struct {
+	// Quick shrinks operation counts for CI-speed runs; shapes survive,
+	// tail percentiles get noisier.
+	Quick bool
+}
+
+func (c Config) ops(full, quick int) int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	// ID is the registry key (e.g. "table2", "fig_net_rx").
+	ID string
+	// Title names the artifact as the paper does.
+	Title string
+	// Paper summarises what the paper reports for it.
+	Paper string
+	// Run regenerates the artifact.
+	Run func(cfg Config) (*stats.Table, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("experiments: duplicate id %q", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// All returns every experiment, sorted by ID with tables first.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// IDs returns the sorted registry keys.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "table2", "table3",
+		"fig_kv_get", "fig_kv_put",
+		"fig_net_rx", "fig_net_tx", "fig_net_vv",
+		"fig_memcached",
+		"ablation_batch", "ablation_callmulti", "ablation_contexts", "ablation_negotiation", "ablation_tlb",
+		"ext_consolidation", "ext_hugepages", "ext_memory",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d: %v", len(All()), len(want), IDs())
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("bogus id resolved")
+	}
+}
+
+// Every experiment must run to completion in quick mode and produce a
+// non-empty table.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(Config{Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tbl == nil || len(tbl.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			if tbl.Title == "" || len(tbl.Headers) == 0 {
+				t.Fatal("untitled table")
+			}
+			out := tbl.String()
+			if !strings.Contains(out, tbl.Headers[0]) {
+				t.Fatalf("render missing headers:\n%s", out)
+			}
+		})
+	}
+}
+
+// The calibration backstop: the headline numbers of the paper must hold
+// on the default cost model, full fidelity.
+func TestCalibrationTable2(t *testing.T) {
+	elisa, err := MeasureELISARoundTrip(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vmcall, err := MeasureVMCallRoundTrip(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elisa != 196 {
+		t.Errorf("ELISA RTT = %dns, want 196 (paper Table 2)", int64(elisa))
+	}
+	if vmcall != 699 {
+		t.Errorf("VMCALL RTT = %dns, want 699 (paper Table 2)", int64(vmcall))
+	}
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/elisa-go/elisa/internal/kvs"
+	"github.com/elisa-go/elisa/internal/stats"
+	"github.com/elisa-go/elisa/internal/workload"
+)
+
+// VMCounts is the x axis of the paper's KV figures.
+var VMCounts = []int{1, 2, 3, 4, 5, 6, 7, 8}
+
+func init() {
+	register(Experiment{
+		ID:    "fig_kv_get",
+		Title: "Figure: in-memory KV store, GET throughput vs number of VMs",
+		Paper: "GET scales with VMs; ELISA +64% over VMCALL, close behind ivshmem",
+		Run: func(cfg Config) (*stats.Table, error) {
+			return runKV(cfg, false)
+		},
+	})
+	register(Experiment{
+		ID:    "fig_kv_put",
+		Title: "Figure: in-memory KV store, PUT throughput vs number of VMs",
+		Paper: "PUT plateaus on writer serialisation; ELISA between ivshmem and VMCALL",
+		Run: func(cfg Config) (*stats.Table, error) {
+			return runKV(cfg, true)
+		},
+	})
+}
+
+// KVPoint is one measured cell of the KV figures.
+type KVPoint struct {
+	Scheme  string
+	VMs     int
+	AggMops float64
+}
+
+// RunKVSweep produces the full grid for one operation type.
+func RunKVSweep(cfg Config, put bool) ([]KVPoint, error) {
+	opsPerVM := cfg.ops(3000, 300)
+	nKeys := 1024
+	keys := make([][]byte, nKeys)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%08d", i))
+	}
+	val := make([]byte, 200)
+	workload.FillPattern(val, 1)
+
+	var out []KVPoint
+	for _, scheme := range kvs.KVSchemes {
+		for _, vms := range VMCounts {
+			cluster, err := kvs.BuildCluster(scheme, vms, kvs.DefaultLayout)
+			if err != nil {
+				return nil, err
+			}
+			if err := cluster.Preload(keys, val); err != nil {
+				return nil, err
+			}
+			choosers := make([]workload.KeyChooser, vms)
+			for i := range choosers {
+				choosers[i], err = workload.NewUniform(int64(100*vms+i), nKeys)
+				if err != nil {
+					return nil, err
+				}
+			}
+			var res *kvs.Result
+			if put {
+				res, err = cluster.RunPuts(opsPerVM, keys, choosers, val)
+			} else {
+				res, err = cluster.RunGets(opsPerVM, keys, choosers)
+			}
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, KVPoint{Scheme: scheme, VMs: vms, AggMops: res.AggMops})
+		}
+	}
+	return out, nil
+}
+
+func runKV(cfg Config, put bool) (*stats.Table, error) {
+	points, err := RunKVSweep(cfg, put)
+	if err != nil {
+		return nil, err
+	}
+	op := "GET"
+	if put {
+		op = "PUT"
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("In-memory KV store: %s throughput [Mops/sec] vs number of VMs", op),
+		append([]string{"Scheme"}, intHeaders(VMCounts)...)...)
+	byScheme := map[string][]float64{}
+	for _, p := range points {
+		byScheme[p.Scheme] = append(byScheme[p.Scheme], p.AggMops)
+	}
+	for _, scheme := range kvs.KVSchemes {
+		row := make([]any, 0, len(VMCounts)+1)
+		row = append(row, scheme)
+		for _, v := range byScheme[scheme] {
+			row = append(row, v)
+		}
+		t.AddRow(row...)
+	}
+	// Headline ratio at 1 VM.
+	var elisa1, vmcall1 float64
+	for _, p := range points {
+		if p.VMs == 1 && p.Scheme == "elisa" {
+			elisa1 = p.AggMops
+		}
+		if p.VMs == 1 && p.Scheme == "vmcall" {
+			vmcall1 = p.AggMops
+		}
+	}
+	if vmcall1 > 0 {
+		t.AddNote("%s: ELISA vs VMCALL at 1 VM: %+.0f%% (paper reports +64%% for GET)", op, (elisa1/vmcall1-1)*100)
+	}
+	return t, nil
+}
+
+func intHeaders(xs []int) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("%d VM", x)
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"github.com/elisa-go/elisa/internal/core"
+	"github.com/elisa-go/elisa/internal/hv"
+	"github.com/elisa-go/elisa/internal/mem"
+	"github.com/elisa-go/elisa/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ext_memory",
+		Title: "Extension: ELISA memory footprint (frames per component)",
+		Paper: "paper-style overhead accounting: what the isolation costs in memory — EPT tables, exchange buffers, stacks — measured from the frame allocator",
+		Run:   runMemoryFootprint,
+	})
+}
+
+func runMemoryFootprint(Config) (*stats.Table, error) {
+	h, err := hv.New(hv.Config{PhysBytes: 256 * 1024 * 1024})
+	if err != nil {
+		return nil, err
+	}
+	free := func() int { return h.Phys().FreeFrames() }
+	kb := func(frames int) int { return frames * mem.PageSize / 1024 }
+
+	t := stats.NewTable("ELISA memory footprint", "Component", "Frames", "KiB", "Scope")
+
+	before := free()
+	mgr, err := core.NewManager(h, core.ManagerConfig{})
+	if err != nil {
+		return nil, err
+	}
+	mgrCost := before - free()
+	t.AddRow("manager VM + code pages", mgrCost, kb(mgrCost), "once per machine")
+
+	before = free()
+	if _, err := mgr.CreateObject("obj-a", 16*mem.PageSize); err != nil {
+		return nil, err
+	}
+	objCost := before - free()
+	t.AddRow("shared object (16 pages)", objCost, kb(objCost), "per object")
+
+	before = free()
+	vm, err := h.CreateVM("guest", 16*mem.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	vmCost := before - free()
+	t.AddRow("guest VM (16 pages RAM)", vmCost, kb(vmCost), "per guest (not ELISA)")
+
+	g, err := core.NewGuest(vm, mgr)
+	if err != nil {
+		return nil, err
+	}
+	before = free()
+	if _, err := g.Attach("obj-a"); err != nil {
+		return nil, err
+	}
+	firstAttach := before - free()
+	t.AddRow("first attach (gate ctx, stack, EPTP list, sub ctx, exchange)", firstAttach, kb(firstAttach), "per guest")
+
+	if _, err := mgr.CreateObject("obj-b", 16*mem.PageSize); err != nil {
+		return nil, err
+	}
+	before = free()
+	if _, err := g.Attach("obj-b"); err != nil {
+		return nil, err
+	}
+	extraAttach := before - free()
+	t.AddRow("each further attachment (sub ctx + exchange)", extraAttach, kb(extraAttach), "per (guest, object)")
+
+	t.AddNote("the isolation is paid in page-table pages and per-attachment buffers, never in object copies: objects are mapped, not duplicated")
+	return t, nil
+}

@@ -1,0 +1,121 @@
+// Package gpt models guest page tables: the GVA -> GPA translation each
+// guest OS manages for itself.
+//
+// ELISA's trust argument does not depend on guest page tables — a hostile
+// guest controls its own — but their existence is what makes the gate
+// design necessary: a VMFUNC EPTP switch changes only the GPA -> HPA stage,
+// so execution continues at the same guest-virtual address. The gate code
+// must therefore be mapped at the same GVA (backed by the same GPA) in the
+// default, gate, and sub contexts, and package core tests that property
+// through this package.
+//
+// Because these tables are guest-private software state (not part of the
+// host trust boundary), they are modelled as a direct page map rather than
+// an in-memory radix tree; only the EPT stage needs to live in simulated
+// physical frames.
+package gpt
+
+import (
+	"fmt"
+
+	"github.com/elisa-go/elisa/internal/mem"
+)
+
+// Perm is a guest page permission mask. It reuses the EPT encoding
+// (r/w/x) but is enforced by the guest stage of the walk.
+type Perm uint8
+
+// Permission bits.
+const (
+	PermRead  Perm = 1 << 0
+	PermWrite Perm = 1 << 1
+	PermExec  Perm = 1 << 2
+
+	PermRW  = PermRead | PermWrite
+	PermRX  = PermRead | PermExec
+	PermRWX = PermRead | PermWrite | PermExec
+)
+
+// Can reports whether p grants every bit in access.
+func (p Perm) Can(access Perm) bool { return p&access == access }
+
+// Fault is a guest page fault: the guest's own tables do not map or do not
+// permit the access. Delivered to the guest, not the host.
+type Fault struct {
+	Addr   mem.GVA
+	Access Perm
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("guest page fault: %v access %#x", f.Addr, uint8(f.Access))
+}
+
+// Table is one guest address space.
+type Table struct {
+	pages map[mem.GVA]entry // keyed by page base
+}
+
+type entry struct {
+	gfn  mem.GFN
+	perm Perm
+}
+
+// New returns an empty guest page table.
+func New() *Table {
+	return &Table{pages: make(map[mem.GVA]entry)}
+}
+
+// Map installs a page translation. Both addresses must be page-aligned.
+func (t *Table) Map(gva mem.GVA, gpa mem.GPA, perm Perm) error {
+	if gva.Offset() != 0 || !gpa.PageAligned() {
+		return fmt.Errorf("gpt: Map(%v -> %v): addresses must be page-aligned", gva, gpa)
+	}
+	if perm == 0 || perm&^PermRWX != 0 {
+		return fmt.Errorf("gpt: Map(%v): invalid permissions %#x", gva, uint8(perm))
+	}
+	t.pages[gva] = entry{gpa.Frame(), perm}
+	return nil
+}
+
+// MapRange maps n consecutive pages from gva to gpa.
+func (t *Table) MapRange(gva mem.GVA, gpa mem.GPA, pages int, perm Perm) error {
+	for i := 0; i < pages; i++ {
+		off := uint64(i) * mem.PageSize
+		if err := t.Map(gva+mem.GVA(off), gpa+mem.GPA(off), perm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Unmap removes a page translation.
+func (t *Table) Unmap(gva mem.GVA) error {
+	base := gva.PageBase()
+	if _, ok := t.pages[base]; !ok {
+		return fmt.Errorf("gpt: Unmap(%v): not mapped", gva)
+	}
+	delete(t.pages, base)
+	return nil
+}
+
+// Translate resolves gva for the given access, returning the
+// guest-physical address or a *Fault.
+func (t *Table) Translate(gva mem.GVA, access Perm) (mem.GPA, error) {
+	e, ok := t.pages[gva.PageBase()]
+	if !ok || !e.perm.Can(access) {
+		return 0, &Fault{Addr: gva, Access: access}
+	}
+	return e.gfn.Page() + mem.GPA(gva.Offset()), nil
+}
+
+// Lookup returns the mapping for the page containing gva, if any.
+func (t *Table) Lookup(gva mem.GVA) (mem.GPA, Perm, bool) {
+	e, ok := t.pages[gva.PageBase()]
+	if !ok {
+		return 0, 0, false
+	}
+	return e.gfn.Page(), e.perm, true
+}
+
+// Len reports the number of mapped pages.
+func (t *Table) Len() int { return len(t.pages) }

@@ -1,0 +1,103 @@
+package gpt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/elisa-go/elisa/internal/mem"
+)
+
+func TestMapTranslate(t *testing.T) {
+	tbl := New()
+	if err := tbl.Map(0x40_0000, 0x1000, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	gpa, err := tbl.Translate(0x40_0123, PermRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpa != 0x1123 {
+		t.Fatalf("Translate = %v", gpa)
+	}
+}
+
+func TestFaults(t *testing.T) {
+	tbl := New()
+	_ = tbl.Map(0x1000, 0x2000, PermRX)
+	if _, err := tbl.Translate(0x3000, PermRead); err == nil {
+		t.Fatal("unmapped translate succeeded")
+	}
+	_, err := tbl.Translate(0x1000, PermWrite)
+	f, ok := err.(*Fault)
+	if !ok || f.Addr != 0x1000 {
+		t.Fatalf("want fault, got %v", err)
+	}
+	if f.Error() == "" {
+		t.Fatal("empty fault text")
+	}
+	if _, err := tbl.Translate(0x1000, PermExec); err != nil {
+		t.Fatal("exec should be allowed")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	tbl := New()
+	if err := tbl.Map(0x1001, 0x2000, PermRW); err == nil {
+		t.Error("unaligned GVA accepted")
+	}
+	if err := tbl.Map(0x1000, 0x2001, PermRW); err == nil {
+		t.Error("unaligned GPA accepted")
+	}
+	if err := tbl.Map(0x1000, 0x2000, 0); err == nil {
+		t.Error("zero perm accepted")
+	}
+}
+
+func TestMapRangeUnmap(t *testing.T) {
+	tbl := New()
+	if err := tbl.MapRange(0x10_0000, 0x5000, 4, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 4 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	gpa, _ := tbl.Translate(0x10_3000, PermRead)
+	if gpa != 0x8000 {
+		t.Fatalf("page 3 -> %v", gpa)
+	}
+	if err := tbl.Unmap(0x10_1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Translate(0x10_1000, PermRead); err == nil {
+		t.Fatal("translation survived unmap")
+	}
+	if err := tbl.Unmap(0x10_1000); err == nil {
+		t.Fatal("double unmap accepted")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	tbl := New()
+	_ = tbl.Map(0x9000, 0xa000, PermRX)
+	gpa, perm, ok := tbl.Lookup(0x9777)
+	if !ok || gpa != 0xa000 || perm != PermRX {
+		t.Fatalf("Lookup: %v %v %v", gpa, perm, ok)
+	}
+	if _, _, ok := tbl.Lookup(0xdead000); ok {
+		t.Fatal("Lookup of unmapped succeeded")
+	}
+}
+
+// Property: translate(gva) preserves the in-page offset.
+func TestOffsetPreserved(t *testing.T) {
+	tbl := New()
+	_ = tbl.Map(0x7000, 0xb000, PermRW)
+	f := func(off uint16) bool {
+		o := uint64(off) & mem.PageMask
+		gpa, err := tbl.Translate(mem.GVA(0x7000+o), PermRead)
+		return err == nil && gpa == mem.GPA(0xb000+o)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+package kvs
+
+import (
+	"fmt"
+
+	"github.com/elisa-go/elisa/internal/core"
+	"github.com/elisa-go/elisa/internal/hv"
+	"github.com/elisa-go/elisa/internal/mem"
+)
+
+// KVSchemes lists the three sharing schemes of the paper's KV figures.
+var KVSchemes = []string{"ivshmem", "vmcall", "elisa"}
+
+// DefaultLayout is the table geometry the experiments use: memcached-ish
+// 32-byte keys and 256-byte values.
+var DefaultLayout = Layout{Buckets: 4096, KeySize: 32, ValSize: 256}
+
+// clientStaging is where VMCALL clients stage requests in guest RAM.
+const clientStaging mem.GPA = 0x2000
+
+// BuildCluster assembles a fresh machine running `vms` client VMs against
+// one shared store through the named scheme.
+func BuildCluster(scheme string, vms int, l Layout) (*Cluster, error) {
+	if vms <= 0 {
+		return nil, fmt.Errorf("kvs: cluster needs at least one VM")
+	}
+	h, err := hv.New(hv.Config{PhysBytes: 512 * 1024 * 1024})
+	if err != nil {
+		return nil, err
+	}
+	clients := make([]Client, vms)
+	newVM := func(i int) (*hv.VM, error) {
+		return h.CreateVM(fmt.Sprintf("kv-client-%d", i), 16*mem.PageSize)
+	}
+	switch scheme {
+	case "ivshmem":
+		svc, err := NewDirectService(h, l)
+		if err != nil {
+			return nil, err
+		}
+		for i := range clients {
+			vm, err := newVM(i)
+			if err != nil {
+				return nil, err
+			}
+			if clients[i], err = svc.NewClient(vm); err != nil {
+				return nil, err
+			}
+		}
+	case "vmcall":
+		svc, err := NewVMCallService(h, l)
+		if err != nil {
+			return nil, err
+		}
+		for i := range clients {
+			vm, err := newVM(i)
+			if err != nil {
+				return nil, err
+			}
+			if clients[i], err = svc.NewClient(vm, clientStaging); err != nil {
+				return nil, err
+			}
+		}
+	case "elisa":
+		mgr, err := core.NewManager(h, core.ManagerConfig{})
+		if err != nil {
+			return nil, err
+		}
+		svc, err := NewELISAService(h, mgr, "kv-store", l)
+		if err != nil {
+			return nil, err
+		}
+		for i := range clients {
+			vm, err := newVM(i)
+			if err != nil {
+				return nil, err
+			}
+			g, err := core.NewGuest(vm, mgr)
+			if err != nil {
+				return nil, err
+			}
+			if clients[i], err = svc.NewClient(g); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("kvs: unknown scheme %q", scheme)
+	}
+	return NewCluster(clients...)
+}

@@ -1,0 +1,181 @@
+package shm
+
+import (
+	"fmt"
+)
+
+// Ring is a single-producer/single-consumer ring of fixed-size slots laid
+// out in shared memory — the descriptor-ring shape every I/O backend in
+// the paper's networking use case is built on.
+//
+// Layout (all u64 fields 8-byte aligned):
+//
+//	0:  head (next slot the consumer will read)
+//	8:  tail (next slot the producer will write)
+//	16: slot count
+//	24: slot payload size
+//	32: slots... each slot is 8 bytes of length header + payload bytes,
+//	    rounded up to 8.
+type Ring struct {
+	w        Window
+	slots    int
+	slotSize int
+}
+
+const ringHdr = 32
+
+// slotStride returns the on-disk footprint of one slot.
+func slotStride(slotSize int) int { return 8 + (slotSize+7)&^7 }
+
+// RingBytes returns the window size needed for a ring with the given
+// geometry.
+func RingBytes(slots, slotSize int) int { return ringHdr + slots*slotStride(slotSize) }
+
+// InitRing formats a ring in w. The producer-consumer pair must agree on
+// geometry; OpenRing re-derives it from the header.
+func InitRing(w Window, slots, slotSize int) (*Ring, error) {
+	if slots <= 0 || slots&(slots-1) != 0 {
+		return nil, fmt.Errorf("shm: ring slots %d must be a positive power of two", slots)
+	}
+	if slotSize <= 0 {
+		return nil, fmt.Errorf("shm: ring slot size %d must be positive", slotSize)
+	}
+	if need := RingBytes(slots, slotSize); w.Size() < need {
+		return nil, fmt.Errorf("shm: ring needs %d bytes, window has %d", need, w.Size())
+	}
+	for off, v := range map[int]uint64{0: 0, 8: 0, 16: uint64(slots), 24: uint64(slotSize)} {
+		if err := w.WriteU64(off, v); err != nil {
+			return nil, err
+		}
+	}
+	return &Ring{w: w, slots: slots, slotSize: slotSize}, nil
+}
+
+// OpenRing attaches to a ring previously formatted with InitRing (the
+// other side of the shared memory).
+func OpenRing(w Window) (*Ring, error) {
+	slots, err := w.ReadU64(16)
+	if err != nil {
+		return nil, err
+	}
+	slotSize, err := w.ReadU64(24)
+	if err != nil {
+		return nil, err
+	}
+	if slots == 0 || slotSize == 0 || slots > 1<<20 || slotSize > 1<<20 {
+		return nil, fmt.Errorf("shm: window does not contain a ring (slots=%d size=%d)", slots, slotSize)
+	}
+	r := &Ring{w: w, slots: int(slots), slotSize: int(slotSize)}
+	if need := RingBytes(r.slots, r.slotSize); w.Size() < need {
+		return nil, fmt.Errorf("shm: ring header claims %d bytes, window has %d", need, w.Size())
+	}
+	return r, nil
+}
+
+// Slots returns the ring capacity.
+func (r *Ring) Slots() int { return r.slots }
+
+// SlotSize returns the per-slot payload capacity.
+func (r *Ring) SlotSize() int { return r.slotSize }
+
+func (r *Ring) load() (head, tail uint64, err error) {
+	if head, err = r.w.ReadU64(0); err != nil {
+		return
+	}
+	tail, err = r.w.ReadU64(8)
+	return
+}
+
+// Len returns the number of occupied slots.
+func (r *Ring) Len() (int, error) {
+	head, tail, err := r.load()
+	if err != nil {
+		return 0, err
+	}
+	return int(tail - head), nil
+}
+
+// Free returns the number of free slots.
+func (r *Ring) Free() (int, error) {
+	n, err := r.Len()
+	if err != nil {
+		return 0, err
+	}
+	return r.slots - n, nil
+}
+
+func (r *Ring) slotOff(index uint64) int {
+	return ringHdr + int(index%uint64(r.slots))*slotStride(r.slotSize)
+}
+
+// Push appends one payload. It reports false (without error) when the
+// ring is full.
+func (r *Ring) Push(p []byte) (bool, error) {
+	if len(p) > r.slotSize {
+		return false, fmt.Errorf("shm: payload %d exceeds slot size %d", len(p), r.slotSize)
+	}
+	head, tail, err := r.load()
+	if err != nil {
+		return false, err
+	}
+	if tail-head >= uint64(r.slots) {
+		return false, nil
+	}
+	off := r.slotOff(tail)
+	if err := r.w.WriteU64(off, uint64(len(p))); err != nil {
+		return false, err
+	}
+	if len(p) > 0 {
+		if err := r.w.Write(off+8, p); err != nil {
+			return false, err
+		}
+	}
+	return true, r.w.WriteU64(8, tail+1)
+}
+
+// Pop removes the oldest payload into p (which must be at least slot-size
+// long) and returns its length. It reports ok=false when the ring is
+// empty.
+func (r *Ring) Pop(p []byte) (n int, ok bool, err error) {
+	head, tail, err := r.load()
+	if err != nil {
+		return 0, false, err
+	}
+	if head == tail {
+		return 0, false, nil
+	}
+	off := r.slotOff(head)
+	ln, err := r.w.ReadU64(off)
+	if err != nil {
+		return 0, false, err
+	}
+	if ln > uint64(r.slotSize) {
+		return 0, false, fmt.Errorf("shm: corrupt ring slot length %d", ln)
+	}
+	if int(ln) > len(p) {
+		return 0, false, fmt.Errorf("shm: buffer %d too small for payload %d", len(p), ln)
+	}
+	if ln > 0 {
+		if err := r.w.Read(off+8, p[:ln]); err != nil {
+			return 0, false, err
+		}
+	}
+	if err := r.w.WriteU64(0, head+1); err != nil {
+		return 0, false, err
+	}
+	return int(ln), true, nil
+}
+
+// PeekLen returns the length of the oldest payload without consuming it
+// (ok=false when empty).
+func (r *Ring) PeekLen() (int, bool, error) {
+	head, tail, err := r.load()
+	if err != nil {
+		return 0, false, err
+	}
+	if head == tail {
+		return 0, false, nil
+	}
+	ln, err := r.w.ReadU64(r.slotOff(head))
+	return int(ln), true, err
+}

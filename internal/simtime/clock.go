@@ -1,0 +1,88 @@
+// Package simtime provides the simulated-time foundation of the ELISA
+// reproduction: integer-nanosecond clocks and the calibrated cost model
+// every other package charges against.
+//
+// Nothing in this repository measures wall-clock time. Every "instruction"
+// a simulated vCPU executes advances a Clock by a deterministic number of
+// simulated nanoseconds taken from a CostModel, so reruns are bit-identical
+// and throughput/latency results are pure functions of the model.
+package simtime
+
+import "fmt"
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// String renders the duration with an adaptive unit, e.g. "196ns", "1.234us".
+func (d Duration) String() string {
+	switch {
+	case d < 0:
+		return "-" + (-d).String()
+	case d < Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond:
+		return fmt.Sprintf("%.3fus", float64(d)/float64(Microsecond))
+	case d < Second:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", float64(d)/float64(Second))
+	}
+}
+
+// Seconds converts the duration to floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Time is an instant on a simulated clock, in nanoseconds since the
+// simulation epoch.
+type Time int64
+
+// Add returns the instant d later than t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Clock is a monotonically advancing simulated clock. Each simulated vCPU
+// owns one Clock; experiment harnesses read the clocks to convert operation
+// counts into throughput.
+//
+// Clock is not safe for concurrent use; each simulated execution context is
+// single-threaded by construction.
+type Clock struct {
+	now Time
+}
+
+// NewClock returns a clock positioned at the simulation epoch.
+func NewClock() *Clock { return &Clock{} }
+
+// Now reports the current simulated instant.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d. Advancing by a negative duration
+// panics: simulated time, like the real thing, only moves forward.
+func (c *Clock) Advance(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("simtime: Advance by negative duration %d", d))
+	}
+	c.now += Time(d)
+}
+
+// AdvanceTo moves the clock forward to instant t. It is a no-op if the
+// clock is already at or past t; this is the rendezvous primitive used when
+// two simulated agents synchronise (e.g. a packet arriving at a queue).
+func (c *Clock) AdvanceTo(t Time) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Elapsed reports the time elapsed since instant start.
+func (c *Clock) Elapsed(start Time) Duration { return c.now.Sub(start) }

@@ -1,0 +1,162 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtEpoch(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %d, want 0", c.Now())
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	c.Advance(100)
+	c.Advance(23)
+	if got := c.Now(); got != 123 {
+		t.Fatalf("Now() = %d, want 123", got)
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewClock().Advance(-1)
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	c := NewClock()
+	c.Advance(50)
+	c.AdvanceTo(40) // no-op: already past
+	if c.Now() != 50 {
+		t.Fatalf("AdvanceTo backwards moved clock to %d", c.Now())
+	}
+	c.AdvanceTo(80)
+	if c.Now() != 80 {
+		t.Fatalf("AdvanceTo(80) left clock at %d", c.Now())
+	}
+}
+
+func TestClockElapsed(t *testing.T) {
+	c := NewClock()
+	start := c.Now()
+	c.Advance(196)
+	if d := c.Elapsed(start); d != 196 {
+		t.Fatalf("Elapsed = %v, want 196", d)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{196, "196ns"},
+		{699, "699ns"},
+		{1500, "1.500us"},
+		{2_500_000, "2.500ms"},
+		{3_000_000_000, "3.000s"},
+		{-5, "-5ns"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestDurationSeconds(t *testing.T) {
+	if s := Duration(1_500_000_000).Seconds(); s != 1.5 {
+		t.Fatalf("Seconds = %v, want 1.5", s)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(100)
+	t1 := t0.Add(50)
+	if t1 != 150 {
+		t.Fatalf("Add: got %d", t1)
+	}
+	if d := t1.Sub(t0); d != 50 {
+		t.Fatalf("Sub: got %d", d)
+	}
+}
+
+// The two headline calibration targets from the paper's Table 2.
+func TestDefaultModelMatchesPaperTable2(t *testing.T) {
+	m := Default()
+	if got := m.VMCallRoundTrip(); got != 699 {
+		t.Errorf("VMCALL round trip = %v, want 699ns (paper Table 2)", got)
+	}
+	if got := m.ELISARoundTrip(); got != 196 {
+		t.Errorf("ELISA round trip = %v, want 196ns (paper Table 2)", got)
+	}
+	ratio := float64(m.VMCallRoundTrip()) / float64(m.ELISARoundTrip())
+	if ratio < 3.4 || ratio > 3.7 {
+		t.Errorf("VMCALL/ELISA ratio = %.2f, paper reports 3.5x", ratio)
+	}
+}
+
+func TestCopyCostWholeLines(t *testing.T) {
+	m := Default()
+	cases := []struct {
+		n    int
+		want Duration
+	}{
+		{0, 0}, {-4, 0}, {1, 1}, {64, 1}, {65, 2}, {1472, 23},
+	}
+	for _, c := range cases {
+		if got := m.CopyCost(c.n); got != c.want {
+			t.Errorf("CopyCost(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestNICWireTime64B(t *testing.T) {
+	m := Default()
+	// 64B + 20B overhead = 672 bits => 67.2ns on 10GbE; integer math
+	// truncates to 67ns => ~14.9 Mpps, the classic 64B line rate.
+	got := m.NICWireTime(64)
+	if got != 67 {
+		t.Fatalf("NICWireTime(64) = %v, want 67ns", got)
+	}
+	pps := 1e9 / float64(got)
+	if pps < 14.5e6 || pps > 15.2e6 {
+		t.Fatalf("64B line rate = %.2f Mpps, want ~14.88", pps/1e6)
+	}
+}
+
+func TestNICWireTimeMonotonic(t *testing.T) {
+	m := Default()
+	f := func(a, b uint16) bool {
+		x, y := int(a%1500)+1, int(b%1500)+1
+		if x > y {
+			x, y = y, x
+		}
+		return m.NICWireTime(x) <= m.NICWireTime(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: clock advancement is associative — advancing by a then b equals
+// advancing by a+b, for non-negative spans.
+func TestClockAdvanceAssociative(t *testing.T) {
+	f := func(a, b uint32) bool {
+		c1, c2 := NewClock(), NewClock()
+		c1.Advance(Duration(a))
+		c1.Advance(Duration(b))
+		c2.Advance(Duration(a) + Duration(b))
+		return c1.Now() == c2.Now()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

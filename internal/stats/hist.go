@@ -1,0 +1,151 @@
+// Package stats provides the measurement plumbing of the benchmark
+// harness: log-bucketed histograms with percentile queries, throughput
+// helpers, and text renderers for the tables and figure-series the
+// experiments print.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/elisa-go/elisa/internal/simtime"
+)
+
+// Histogram is a log-bucketed latency histogram (HDR-style): values are
+// bucketed with ~4.6% relative error (16 sub-buckets per octave), which is
+// plenty for p50/p99 comparisons while staying allocation-free per record.
+type Histogram struct {
+	buckets map[int]int64
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+const subBuckets = 16 // per power of two
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{buckets: make(map[int]int64), min: math.MaxInt64}
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v < subBuckets {
+		return int(v) // exact for tiny values
+	}
+	exp := 63 - int64(leadingZeros(uint64(v)))
+	// Position within the octave, quantised to subBuckets slots.
+	frac := (v - (1 << exp)) * subBuckets >> exp
+	return int(exp)*subBuckets + int(frac)
+}
+
+// bucketLow returns the lower bound of a bucket (its representative value).
+func bucketLow(b int) int64 {
+	if b < subBuckets {
+		return int64(b)
+	}
+	exp := b / subBuckets
+	frac := int64(b % subBuckets)
+	return (1 << exp) + frac<<exp/subBuckets
+}
+
+func leadingZeros(v uint64) int {
+	n := 0
+	for i := 63; i >= 0; i-- {
+		if v&(1<<uint(i)) != 0 {
+			return n
+		}
+		n++
+	}
+	return 64
+}
+
+// Record adds one observation (negative values are clamped to zero).
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// RecordDuration adds one simulated-duration observation.
+func (h *Histogram) RecordDuration(d simtime.Duration) { h.Record(int64(d)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the arithmetic mean, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min returns the smallest observation, or 0 if empty.
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Percentile returns the value at quantile q in [0,1] (e.g. 0.99 for p99).
+// The result is the representative (lower-bound) value of the bucket
+// containing the quantile.
+func (h *Histogram) Percentile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	keys := make([]int, 0, len(h.buckets))
+	for k := range h.buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var seen int64
+	for _, k := range keys {
+		seen += h.buckets[k]
+		if seen >= target {
+			return bucketLow(k)
+		}
+	}
+	return h.max
+}
+
+// String summarises the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%d p99=%d max=%d",
+		h.count, h.Mean(), h.Percentile(0.50), h.Percentile(0.99), h.max)
+}
+
+// Throughput converts an operation count over a simulated span into
+// operations per second.
+func Throughput(ops int64, elapsed simtime.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(ops) / elapsed.Seconds()
+}

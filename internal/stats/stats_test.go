@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/elisa-go/elisa/internal/simtime"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Percentile(0.99) != 0 {
+		t.Fatalf("empty histogram not all-zero: %s", h)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} {
+		h.Record(v)
+	}
+	if h.Count() != 10 || h.Min() != 1 || h.Max() != 10 {
+		t.Fatalf("count/min/max: %d %d %d", h.Count(), h.Min(), h.Max())
+	}
+	if m := h.Mean(); m != 5.5 {
+		t.Fatalf("mean = %v", m)
+	}
+	if p := h.Percentile(0.5); p != 5 {
+		t.Fatalf("p50 = %d", p)
+	}
+	if p := h.Percentile(1.0); p != 10 {
+		t.Fatalf("p100 = %d", p)
+	}
+	if p := h.Percentile(0.0); p != 1 {
+		t.Fatalf("p0 = %d", p)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5)
+	if h.Min() != 0 {
+		t.Fatalf("min = %d", h.Min())
+	}
+}
+
+func TestHistogramRelativeError(t *testing.T) {
+	// The log bucketing must keep relative error under ~7% for large
+	// values — enough to distinguish the paper's latency curves.
+	h := NewHistogram()
+	const v = 123456
+	h.Record(v)
+	got := h.Percentile(0.99)
+	relErr := float64(v-got) / float64(v)
+	if relErr < 0 || relErr > 0.07 {
+		t.Fatalf("p99 of single value %d = %d (rel err %.3f)", v, got, relErr)
+	}
+}
+
+func TestHistogramDurationAndString(t *testing.T) {
+	h := NewHistogram()
+	h.RecordDuration(simtime.Duration(196))
+	if h.Count() != 1 {
+		t.Fatal("RecordDuration did not record")
+	}
+	if s := h.String(); !strings.Contains(s, "n=1") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+// Property: percentiles are monotonically non-decreasing in q and bounded
+// by [roughly min, max].
+func TestPercentileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistogram()
+	for i := 0; i < 5000; i++ {
+		h.Record(rng.Int63n(1_000_000))
+	}
+	f := func(a, b float64) bool {
+		qa, qb := abs01(a), abs01(b)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return h.Percentile(qa) <= h.Percentile(qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	if h.Percentile(1.0) > h.Max() {
+		t.Fatal("p100 above max")
+	}
+}
+
+func abs01(v float64) float64 {
+	if v < 0 {
+		v = -v
+	}
+	for v > 1 {
+		v /= 10
+	}
+	return v
+}
+
+// Property: bucketLow(bucketOf(v)) <= v for all positive v, and the bucket
+// representative is within 7% below v.
+func TestBucketInverse(t *testing.T) {
+	f := func(raw uint32) bool {
+		v := int64(raw)
+		low := bucketLow(bucketOf(v))
+		if low > v {
+			return false
+		}
+		if v >= subBuckets {
+			return float64(v-low)/float64(v) <= 0.07
+		}
+		return low == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(1000, simtime.Second); got != 1000 {
+		t.Fatalf("1000 ops / 1s = %v", got)
+	}
+	if got := Throughput(500, simtime.Millisecond); got != 500_000 {
+		t.Fatalf("500 ops / 1ms = %v", got)
+	}
+	if got := Throughput(5, 0); got != 0 {
+		t.Fatalf("zero elapsed = %v", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table 2: context round-trip", "Description", "Time [ns]")
+	tb.AddRow("ELISA", 196)
+	tb.AddRow("VMCALL", 699)
+	tb.AddNote("ratio %.1fx", 699.0/196.0)
+	out := tb.String()
+	for _, want := range []string{"Table 2", "ELISA", "699", "ratio 3.6x", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	md := tb.Markdown()
+	for _, want := range []string{"### Table 2", "| ELISA | 196 |", "| --- | --- |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("t", "a")
+	tb.AddRow(0.0)
+	tb.AddRow(0.1234)
+	tb.AddRow(3.14159)
+	tb.AddRow(1234.6)
+	want := []string{"0", "0.1234", "3.14", "1235"}
+	for i, w := range want {
+		if tb.Rows[i][0] != w {
+			t.Errorf("row %d = %q, want %q", i, tb.Rows[i][0], w)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package trace is the observability substrate: a bounded ring of
+// timestamped events the hypervisor and the ELISA manager emit as they
+// work (VM lifecycle, exits, kills, negotiations, revocations). Operators
+// of the real system would ship these to their logging pipeline; here the
+// buffer powers elisa-inspect and the forensic assertions in tests —
+// "did the kill happen, and why" as data rather than as a returned error.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/elisa-go/elisa/internal/simtime"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds emitted by the machine and the manager.
+const (
+	KindVMCreate  Kind = "vm-create"
+	KindVMDestroy Kind = "vm-destroy"
+	KindHypercall Kind = "hypercall"
+	KindViolation Kind = "ept-violation"
+	KindVMFault   Kind = "vmfunc-fault"
+	KindKill      Kind = "kill"
+	KindAttach    Kind = "attach"
+	KindDetach    Kind = "detach"
+	KindRevoke    Kind = "revoke"
+	KindCleanup   Kind = "cleanup"
+)
+
+// Event is one record.
+type Event struct {
+	// Seq is a monotonically increasing sequence number (survives ring
+	// wrap, so gaps are detectable).
+	Seq uint64
+	// T is the emitting vCPU's simulated time (0 for host-side events
+	// with no running guest).
+	T simtime.Time
+	// VM names the guest concerned ("" for machine-wide events).
+	VM string
+	// Kind classifies the event.
+	Kind Kind
+	// Detail is a human-readable specific.
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("[%06d %12s] %-14s %-12s %s", e.Seq, simtime.Duration(e.T), e.Kind, e.VM, e.Detail)
+}
+
+// Buffer is a bounded event ring. A nil *Buffer is valid and discards
+// everything, so emit sites never need nil checks.
+type Buffer struct {
+	cap   int
+	evs   []Event
+	next  uint64
+	start int // ring head when full
+}
+
+// NewBuffer creates a ring holding up to capacity events (<=0 picks 1024).
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Buffer{cap: capacity}
+}
+
+// Emit appends an event; the oldest is dropped when full.
+func (b *Buffer) Emit(t simtime.Time, vm string, kind Kind, format string, args ...any) {
+	if b == nil {
+		return
+	}
+	e := Event{Seq: b.next, T: t, VM: vm, Kind: kind, Detail: fmt.Sprintf(format, args...)}
+	b.next++
+	if len(b.evs) < b.cap {
+		b.evs = append(b.evs, e)
+		return
+	}
+	b.evs[b.start] = e
+	b.start = (b.start + 1) % b.cap
+}
+
+// Len reports the number of retained events.
+func (b *Buffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.evs)
+}
+
+// Emitted reports the total number of events ever emitted.
+func (b *Buffer) Emitted() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.next
+}
+
+// Events returns the retained events, oldest first.
+func (b *Buffer) Events() []Event {
+	if b == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(b.evs))
+	out = append(out, b.evs[b.start:]...)
+	out = append(out, b.evs[:b.start]...)
+	return out
+}
+
+// Filter returns retained events matching the kind ("" matches all) and
+// VM name ("" matches all).
+func (b *Buffer) Filter(kind Kind, vm string) []Event {
+	var out []Event
+	for _, e := range b.Events() {
+		if kind != "" && e.Kind != kind {
+			continue
+		}
+		if vm != "" && e.VM != vm {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// String renders the retained events, one per line.
+func (b *Buffer) String() string {
+	var sb strings.Builder
+	for _, e := range b.Events() {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilBufferIsSafe(t *testing.T) {
+	var b *Buffer
+	b.Emit(0, "vm", KindKill, "x")
+	if b.Len() != 0 || b.Emitted() != 0 || b.Events() != nil {
+		t.Fatal("nil buffer not inert")
+	}
+}
+
+func TestEmitAndOrder(t *testing.T) {
+	b := NewBuffer(8)
+	b.Emit(10, "a", KindVMCreate, "first")
+	b.Emit(20, "b", KindAttach, "second %d", 2)
+	evs := b.Events()
+	if len(evs) != 2 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	if evs[0].Seq != 0 || evs[1].Seq != 1 {
+		t.Fatalf("seqs %d %d", evs[0].Seq, evs[1].Seq)
+	}
+	if evs[1].Detail != "second 2" {
+		t.Fatalf("detail %q", evs[1].Detail)
+	}
+	if !strings.Contains(b.String(), "vm-create") {
+		t.Fatalf("render:\n%s", b.String())
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	b := NewBuffer(4)
+	for i := 0; i < 10; i++ {
+		b.Emit(0, "vm", KindHypercall, "ev%d", i)
+	}
+	if b.Len() != 4 || b.Emitted() != 10 {
+		t.Fatalf("len=%d emitted=%d", b.Len(), b.Emitted())
+	}
+	evs := b.Events()
+	// Oldest retained is seq 6, newest 9, strictly in order.
+	for i, e := range evs {
+		if e.Seq != uint64(6+i) {
+			t.Fatalf("evs[%d].Seq = %d", i, e.Seq)
+		}
+	}
+}
+
+func TestFilter(t *testing.T) {
+	b := NewBuffer(16)
+	b.Emit(0, "a", KindKill, "k1")
+	b.Emit(0, "b", KindKill, "k2")
+	b.Emit(0, "a", KindAttach, "at")
+	if n := len(b.Filter(KindKill, "")); n != 2 {
+		t.Fatalf("kill filter: %d", n)
+	}
+	if n := len(b.Filter("", "a")); n != 2 {
+		t.Fatalf("vm filter: %d", n)
+	}
+	if n := len(b.Filter(KindKill, "b")); n != 1 {
+		t.Fatalf("combined filter: %d", n)
+	}
+	if n := len(b.Filter(KindRevoke, "")); n != 0 {
+		t.Fatalf("absent kind: %d", n)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	b := NewBuffer(0)
+	for i := 0; i < 2000; i++ {
+		b.Emit(0, "vm", KindHypercall, "x")
+	}
+	if b.Len() != 1024 {
+		t.Fatalf("default cap = %d", b.Len())
+	}
+}

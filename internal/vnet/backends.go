@@ -1,0 +1,649 @@
+package vnet
+
+import (
+	"fmt"
+
+	"github.com/elisa-go/elisa/internal/core"
+	"github.com/elisa-go/elisa/internal/ept"
+	"github.com/elisa-go/elisa/internal/hv"
+	"github.com/elisa-go/elisa/internal/mem"
+	"github.com/elisa-go/elisa/internal/shm"
+	"github.com/elisa-go/elisa/internal/simtime"
+)
+
+// Per-packet processing costs beyond raw byte movement. Calibrated (with
+// the batch sizes in runner.go) against the paper's §7.1 figures; see
+// EXPERIMENTS.md.
+const (
+	// driverInstr is the guest driver's per-packet descriptor handling.
+	driverInstr = 20
+	// hostExtra is the host-interposition path's per-packet processing
+	// (address validation, switching) on top of the copies.
+	hostExtra simtime.Duration = 40
+	// mgrExtra is the ELISA manager code's per-packet processing in the
+	// sub context (same switching logic, no exits).
+	mgrExtra simtime.Duration = 30
+	// vhostExtra is the vhost-net kernel path's per-packet overhead
+	// (virtio descriptor parsing, skb handling).
+	vhostExtra simtime.Duration = 200
+	// vfExtra is the SR-IOV virtual function's per-packet overhead.
+	vfExtra simtime.Duration = 5
+	// vvAppInstr is the receiving application's per-packet work in the
+	// VM-to-VM scenario (header inspection, forwarding decision).
+	vvAppInstr = 25
+)
+
+// frameStride is the packed frame footprint in staging/exchange buffers.
+const frameStride = 8 + SlotBytes + 4 // u64 length + MTU payload, padded
+
+// Backend is one guest's path to the physical NIC.
+type Backend interface {
+	// Name is the scheme label used in the paper's figures.
+	Name() string
+	// Guest returns the VM driving the NIC through this backend.
+	Guest() *hv.VM
+	// RecvBatch moves up to max frames from the NIC RX ring into the
+	// guest, verifying payload integrity. Costs land on the guest clock.
+	RecvBatch(max int) (int, error)
+	// SendBatch produces and hands count frames of size bytes to the NIC
+	// TX ring. It returns how many were accepted (ring may fill).
+	SendBatch(count, size int) (int, error)
+}
+
+// ---------------------------------------------------------------------------
+// Direct mapping (ivshmem-like) and SR-IOV: the guest touches the DMA
+// rings itself; SR-IOV adds a VF tax per packet.
+
+// DirectBackend maps the NIC rings straight into the guest's default
+// context. With extra=vfExtra it models an SR-IOV virtual function.
+type DirectBackend struct {
+	name  string
+	vm    *hv.VM
+	nic   *NIC
+	rx    *shm.Ring
+	tx    *shm.Ring
+	extra simtime.Duration
+	rxSeq int
+	txSeq int
+}
+
+// NewDirectBackend wires a guest to the NIC by direct mapping.
+func NewDirectBackend(h *hv.Hypervisor, nic *NIC, vm *hv.VM) (*DirectBackend, error) {
+	return newDirect("ivshmem", h, nic, vm, 0)
+}
+
+// NewSRIOVBackend wires a guest to a virtual function of the NIC.
+func NewSRIOVBackend(h *hv.Hypervisor, nic *NIC, vm *hv.VM) (*DirectBackend, error) {
+	return newDirect("sriov", h, nic, vm, vfExtra)
+}
+
+func newDirect(name string, h *hv.Hypervisor, nic *NIC, vm *hv.VM, extra simtime.Duration) (*DirectBackend, error) {
+	rxGPA, err := nic.RXRegion().MapIntoDefault(vm, ept.PermRW)
+	if err != nil {
+		return nil, err
+	}
+	txGPA, err := nic.TXRegion().MapIntoDefault(vm, ept.PermRW)
+	if err != nil {
+		return nil, err
+	}
+	rxw, err := shm.NewGPAWindow(vm.VCPU(), rxGPA, nic.RXRegion().Size())
+	if err != nil {
+		return nil, err
+	}
+	txw, err := shm.NewGPAWindow(vm.VCPU(), txGPA, nic.TXRegion().Size())
+	if err != nil {
+		return nil, err
+	}
+	rx, err := shm.OpenRing(rxw)
+	if err != nil {
+		return nil, err
+	}
+	tx, err := shm.OpenRing(txw)
+	if err != nil {
+		return nil, err
+	}
+	return &DirectBackend{name: name, vm: vm, nic: nic, rx: rx, tx: tx, extra: extra}, nil
+}
+
+// Name implements Backend.
+func (b *DirectBackend) Name() string { return b.name }
+
+// Guest implements Backend.
+func (b *DirectBackend) Guest() *hv.VM { return b.vm }
+
+// RecvBatch implements Backend.
+func (b *DirectBackend) RecvBatch(max int) (int, error) {
+	v := b.vm.VCPU()
+	buf := make([]byte, SlotBytes)
+	got := 0
+	for got < max {
+		v.ChargeInstr(driverInstr)
+		v.Charge(b.extra)
+		n, ok, err := b.rx.Pop(buf)
+		if err != nil {
+			return got, err
+		}
+		if !ok {
+			break
+		}
+		if !checkPattern(buf[:n], b.rxSeq) {
+			return got, fmt.Errorf("vnet: %s: RX frame %d corrupted", b.name, b.rxSeq)
+		}
+		b.rxSeq++
+		got++
+	}
+	return got, nil
+}
+
+// SendBatch implements Backend.
+func (b *DirectBackend) SendBatch(count, size int) (int, error) {
+	v := b.vm.VCPU()
+	buf := make([]byte, size)
+	sent := 0
+	for sent < count {
+		// Produce the payload in guest memory, then hand it to the ring.
+		v.ChargeInstr(driverInstr)
+		v.Charge(b.extra + v.Cost().CopyCost(size))
+		fillPattern(buf, b.txSeq)
+		ok, err := b.tx.Push(buf)
+		if err != nil {
+			return sent, err
+		}
+		if !ok {
+			break
+		}
+		b.txSeq++
+		sent++
+	}
+	return sent, nil
+}
+
+// ---------------------------------------------------------------------------
+// Host interposition (VMCALL) and vhost-net: the NIC rings stay host
+// private; the guest stages batches in its RAM and exits per batch.
+
+// Hypercall numbers of the interposed network service.
+const (
+	HCNetRX uint64 = 0x4E450001
+	HCNetTX uint64 = 0x4E450002
+)
+
+// stagingBase is where interposed backends stage packet batches in guest
+// RAM (the guest's driver owns this area).
+const stagingBase mem.GPA = 0x8000
+
+// InterposedService is the host side of the VMCALL / vhost-net paths:
+// registered once per hypervisor, it routes each hypercall to the calling
+// VM's NIC queue, so any number of guests can share one machine (and one
+// wire).
+type InterposedService struct {
+	h     *hv.Hypervisor
+	vhost bool
+	nics  map[int]*NIC // by VM id
+}
+
+// NewInterposedService registers the network hypercalls. One service per
+// hypervisor (vmcall and vhost-net are alternative models of the same
+// interposed path, never deployed together here).
+func NewInterposedService(h *hv.Hypervisor, vhost bool) (*InterposedService, error) {
+	s := &InterposedService{h: h, vhost: vhost, nics: make(map[int]*NIC)}
+	if err := h.RegisterHypercall(HCNetRX, s.hcRX); err != nil {
+		return nil, err
+	}
+	if err := h.RegisterHypercall(HCNetTX, s.hcTX); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewBackend wires a guest to its NIC queue through this service.
+func (s *InterposedService) NewBackend(vm *hv.VM, nic *NIC) (*InterposedBackend, error) {
+	if int(stagingBase)+16*frameStride > vm.RAMBytes() {
+		return nil, fmt.Errorf("vnet: guest RAM %d too small for staging", vm.RAMBytes())
+	}
+	if _, dup := s.nics[vm.ID()]; dup {
+		return nil, fmt.Errorf("vnet: vm %q already has an interposed backend", vm.Name())
+	}
+	s.nics[vm.ID()] = nic
+	name := "vmcall"
+	if s.vhost {
+		name = "vhost-net"
+	}
+	return &InterposedBackend{name: name, svc: s, vm: vm}, nil
+}
+
+func (s *InterposedService) nicFor(vm *hv.VM) (*NIC, error) {
+	nic, ok := s.nics[vm.ID()]
+	if !ok {
+		return nil, fmt.Errorf("vnet: vm %q has no NIC queue", vm.Name())
+	}
+	return nic, nil
+}
+
+func (s *InterposedService) perPkt() simtime.Duration {
+	if s.vhost {
+		return hostExtra + vhostExtra
+	}
+	return hostExtra
+}
+
+// hcRX pops up to args[1] frames from the caller's NIC RX ring into guest
+// staging.
+func (s *InterposedService) hcRX(vm *hv.VM, args [4]uint64) (uint64, error) {
+	staging, max := mem.GPA(args[0]), int(args[1])
+	nic, err := s.nicFor(vm)
+	if err != nil {
+		return 0, err
+	}
+	v := vm.VCPU()
+	buf := make([]byte, SlotBytes)
+	hw, err := shm.NewHostWindow(nic.RXRegion(), v.Clock())
+	if err != nil {
+		return 0, err
+	}
+	ring, err := shm.OpenRing(hw)
+	if err != nil {
+		return 0, err
+	}
+	got := 0
+	for got < max {
+		v.Charge(s.perPkt())
+		n, ok, err := ring.Pop(buf)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		off := staging + mem.GPA(got*frameStride)
+		hdr := make([]byte, 8)
+		putU64(hdr, uint64(n))
+		if err := vm.GuestWrite(off, hdr); err != nil {
+			return 0, err
+		}
+		if err := vm.GuestWrite(off+8, buf[:n]); err != nil {
+			return 0, err
+		}
+		got++
+	}
+	if s.vhost {
+		v.Charge(s.h.Cost().IRQInject)
+	}
+	return uint64(got), nil
+}
+
+// hcTX pushes args[1] frames of size args[2] from guest staging into the
+// caller's NIC TX ring.
+func (s *InterposedService) hcTX(vm *hv.VM, args [4]uint64) (uint64, error) {
+	staging, count, size := mem.GPA(args[0]), int(args[1]), int(args[2])
+	if size <= 0 || size > SlotBytes {
+		return 0, fmt.Errorf("vnet: TX size %d invalid", size)
+	}
+	nic, err := s.nicFor(vm)
+	if err != nil {
+		return 0, err
+	}
+	v := vm.VCPU()
+	hw, err := shm.NewHostWindow(nic.TXRegion(), v.Clock())
+	if err != nil {
+		return 0, err
+	}
+	ring, err := shm.OpenRing(hw)
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, size)
+	sent := 0
+	for sent < count {
+		v.Charge(s.perPkt())
+		if err := vm.GuestRead(staging+mem.GPA(sent*frameStride)+8, buf); err != nil {
+			return 0, err
+		}
+		ok, err := ring.Push(buf)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		sent++
+	}
+	if s.vhost {
+		v.Charge(s.h.Cost().IRQInject)
+	}
+	return uint64(sent), nil
+}
+
+// InterposedBackend reaches its NIC queue through the service's
+// hypercalls. With a vhost service it models vhost-net: a virtio kick per
+// batch, kernel-path per-packet overhead, and a completion interrupt.
+type InterposedBackend struct {
+	name  string
+	svc   *InterposedService
+	vm    *hv.VM
+	rxSeq int
+	txSeq int
+}
+
+// NewVMCallBackend builds a single-guest host-interposition path
+// (convenience wrapper: one service, one backend).
+func NewVMCallBackend(h *hv.Hypervisor, nic *NIC, vm *hv.VM) (*InterposedBackend, error) {
+	svc, err := NewInterposedService(h, false)
+	if err != nil {
+		return nil, err
+	}
+	return svc.NewBackend(vm, nic)
+}
+
+// NewVhostBackend builds a single-guest vhost-net model.
+func NewVhostBackend(h *hv.Hypervisor, nic *NIC, vm *hv.VM) (*InterposedBackend, error) {
+	svc, err := NewInterposedService(h, true)
+	if err != nil {
+		return nil, err
+	}
+	return svc.NewBackend(vm, nic)
+}
+
+// Name implements Backend.
+func (b *InterposedBackend) Name() string { return b.name }
+
+// Guest implements Backend.
+func (b *InterposedBackend) Guest() *hv.VM { return b.vm }
+
+// RecvBatch implements Backend.
+func (b *InterposedBackend) RecvBatch(max int) (int, error) {
+	v := b.vm.VCPU()
+	if b.svc.vhost {
+		v.Charge(v.Cost().KickDoorbell)
+	}
+	ret, err := v.VMCall(HCNetRX, uint64(stagingBase), uint64(max))
+	if err != nil {
+		return 0, err
+	}
+	got := int(ret)
+	hdr := make([]byte, 8)
+	buf := make([]byte, SlotBytes)
+	for i := 0; i < got; i++ {
+		v.ChargeInstr(driverInstr)
+		off := stagingBase + mem.GPA(i*frameStride)
+		if err := v.ReadGPA(off, hdr); err != nil {
+			return i, err
+		}
+		n := int(getU64(hdr))
+		if n <= 0 || n > SlotBytes {
+			return i, fmt.Errorf("vnet: %s: bad staged length %d", b.name, n)
+		}
+		if err := v.ReadGPA(off+8, buf[:n]); err != nil {
+			return i, err
+		}
+		if !checkPattern(buf[:n], b.rxSeq) {
+			return i, fmt.Errorf("vnet: %s: RX frame %d corrupted", b.name, b.rxSeq)
+		}
+		b.rxSeq++
+	}
+	return got, nil
+}
+
+// SendBatch implements Backend.
+func (b *InterposedBackend) SendBatch(count, size int) (int, error) {
+	v := b.vm.VCPU()
+	buf := make([]byte, size)
+	for i := 0; i < count; i++ {
+		v.ChargeInstr(driverInstr)
+		fillPattern(buf, b.txSeq+i)
+		off := stagingBase + mem.GPA(i*frameStride)
+		hdr := make([]byte, 8)
+		putU64(hdr, uint64(size))
+		if err := v.WriteGPA(off, hdr); err != nil {
+			return 0, err
+		}
+		if err := v.WriteGPA(off+8, buf); err != nil {
+			return 0, err
+		}
+	}
+	if b.svc.vhost {
+		v.Charge(v.Cost().KickDoorbell)
+	}
+	ret, err := v.VMCall(HCNetTX, uint64(stagingBase), uint64(count), uint64(size))
+	if err != nil {
+		return 0, err
+	}
+	b.txSeq += int(ret)
+	return int(ret), nil
+}
+
+// ---------------------------------------------------------------------------
+// ELISA: the NIC rings are manager objects; the guest switches into sub
+// contexts to run the manager's NIC code — no exits.
+
+// Manager function IDs of the ELISA network service.
+const (
+	FnNetRX uint64 = 0x4E45_0101
+	FnNetTX uint64 = 0x4E45_0102
+)
+
+// ELISANetService is the manager side of the ELISA networking path:
+// registered once per manager, it publishes each guest's NIC queue rings
+// as objects and routes the manager functions to the right queue, so any
+// number of guests can share the machine (and the wire) exit-lessly.
+type ELISANetService struct {
+	h     *hv.Hypervisor
+	mgr   *core.Manager
+	rings map[mem.GPA]*shm.Ring // device ring views, keyed by object GPA
+	seq   int                   // per-guest object name uniquifier
+}
+
+// NewELISANetService registers the manager functions.
+func NewELISANetService(h *hv.Hypervisor, mgr *core.Manager) (*ELISANetService, error) {
+	s := &ELISANetService{h: h, mgr: mgr, rings: make(map[mem.GPA]*shm.Ring)}
+	if err := mgr.RegisterFunc(FnNetRX, s.fnRX); err != nil {
+		return nil, err
+	}
+	if err := mgr.RegisterFunc(FnNetTX, s.fnTX); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewBackend publishes the guest's NIC queue as two objects and attaches
+// the guest to them.
+func (s *ELISANetService) NewBackend(g *core.Guest, nic *NIC) (*ELISABackend, error) {
+	prefix := fmt.Sprintf("nicq%d", s.seq)
+	s.seq++
+	if _, err := s.mgr.CreateObjectFromRegion(prefix+"-rx", nic.RXRegion()); err != nil {
+		return nil, err
+	}
+	if _, err := s.mgr.CreateObjectFromRegion(prefix+"-tx", nic.TXRegion()); err != nil {
+		return nil, err
+	}
+	b := &ELISABackend{svc: s, guest: g, nic: nic}
+	var err error
+	if b.hRX, err = g.Attach(prefix + "-rx"); err != nil {
+		return nil, err
+	}
+	if b.hTX, err = g.Attach(prefix + "-tx"); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// ringFor opens the device ring behind an object through the calling
+// guest's sub context. The object GPA is unique per object, so the cache
+// cannot alias across guests or queues.
+func (s *ELISANetService) ringFor(ctx *core.CallContext) (*shm.Ring, error) {
+	if r, ok := s.rings[ctx.Object]; ok {
+		return r, nil
+	}
+	w, err := shm.NewGPAWindow(ctx.VCPU, ctx.Object, ctx.ObjectSize)
+	if err != nil {
+		return nil, err
+	}
+	r, err := shm.OpenRing(w)
+	if err != nil {
+		return nil, err
+	}
+	s.rings[ctx.Object] = r
+	return r, nil
+}
+
+func (s *ELISANetService) fnRX(ctx *core.CallContext) (uint64, error) {
+	max := int(ctx.Args[0])
+	ring, err := s.ringFor(ctx)
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, SlotBytes)
+	got := 0
+	for got < max {
+		ctx.VCPU.Charge(mgrExtra)
+		n, ok, err := ring.Pop(buf)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		off := got * frameStride
+		hdr := make([]byte, 8)
+		putU64(hdr, uint64(n))
+		if err := ctx.WriteExchange(off, hdr); err != nil {
+			return 0, err
+		}
+		if err := ctx.WriteExchange(off+8, buf[:n]); err != nil {
+			return 0, err
+		}
+		got++
+	}
+	return uint64(got), nil
+}
+
+func (s *ELISANetService) fnTX(ctx *core.CallContext) (uint64, error) {
+	count, size := int(ctx.Args[0]), int(ctx.Args[1])
+	if size <= 0 || size > SlotBytes {
+		return 0, fmt.Errorf("vnet: elisa TX size %d invalid", size)
+	}
+	ring, err := s.ringFor(ctx)
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, size)
+	sent := 0
+	for sent < count {
+		ctx.VCPU.Charge(mgrExtra)
+		if err := ctx.ReadExchange(sent*frameStride+8, buf); err != nil {
+			return 0, err
+		}
+		ok, err := ring.Push(buf)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		sent++
+	}
+	return uint64(sent), nil
+}
+
+// ELISABackend reaches its NIC queue through the gate — no exits.
+type ELISABackend struct {
+	svc   *ELISANetService
+	guest *core.Guest
+	nic   *NIC
+	hRX   *core.Handle
+	hTX   *core.Handle
+	rxSeq int
+	txSeq int
+}
+
+// NewELISABackend builds a single-guest ELISA path (convenience wrapper:
+// one service, one backend).
+func NewELISABackend(h *hv.Hypervisor, mgr *core.Manager, nic *NIC, g *core.Guest) (*ELISABackend, error) {
+	svc, err := NewELISANetService(h, mgr)
+	if err != nil {
+		return nil, err
+	}
+	return svc.NewBackend(g, nic)
+}
+
+// Name implements Backend.
+func (b *ELISABackend) Name() string { return "elisa" }
+
+// Guest implements Backend.
+func (b *ELISABackend) Guest() *hv.VM { return b.guest.VM() }
+
+// RecvBatch implements Backend.
+func (b *ELISABackend) RecvBatch(max int) (int, error) {
+	v := b.guest.VM().VCPU()
+	if cap := b.hRX.ExchangeSize() / frameStride; max > cap {
+		max = cap
+	}
+	ret, err := b.hRX.Call(v, FnNetRX, uint64(max))
+	if err != nil {
+		return 0, err
+	}
+	got := int(ret)
+	hdr := make([]byte, 8)
+	buf := make([]byte, SlotBytes)
+	for i := 0; i < got; i++ {
+		v.ChargeInstr(driverInstr)
+		off := i * frameStride
+		if err := b.hRX.ExchangeRead(v, off, hdr); err != nil {
+			return i, err
+		}
+		n := int(getU64(hdr))
+		if n <= 0 || n > SlotBytes {
+			return i, fmt.Errorf("vnet: elisa: bad staged length %d", n)
+		}
+		if err := b.hRX.ExchangeRead(v, off+8, buf[:n]); err != nil {
+			return i, err
+		}
+		if !checkPattern(buf[:n], b.rxSeq) {
+			return i, fmt.Errorf("vnet: elisa: RX frame %d corrupted", b.rxSeq)
+		}
+		b.rxSeq++
+	}
+	return got, nil
+}
+
+// SendBatch implements Backend.
+func (b *ELISABackend) SendBatch(count, size int) (int, error) {
+	v := b.guest.VM().VCPU()
+	if cap := b.hTX.ExchangeSize() / frameStride; count > cap {
+		count = cap
+	}
+	buf := make([]byte, size)
+	hdr := make([]byte, 8)
+	for i := 0; i < count; i++ {
+		v.ChargeInstr(driverInstr)
+		fillPattern(buf, b.txSeq+i)
+		putU64(hdr, uint64(size))
+		off := i * frameStride
+		if err := b.hTX.ExchangeWrite(v, off, hdr); err != nil {
+			return 0, err
+		}
+		if err := b.hTX.ExchangeWrite(v, off+8, buf); err != nil {
+			return 0, err
+		}
+	}
+	ret, err := b.hTX.Call(v, FnNetTX, uint64(count), uint64(size))
+	if err != nil {
+		return 0, err
+	}
+	b.txSeq += int(ret)
+	return int(ret), nil
+}
+
+func putU64(p []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		p[i] = byte(v >> (8 * i))
+	}
+}
+
+func getU64(p []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(p[i]) << (8 * i)
+	}
+	return v
+}

@@ -1,0 +1,107 @@
+package vnet
+
+import (
+	"fmt"
+
+	"github.com/elisa-go/elisa/internal/core"
+	"github.com/elisa-go/elisa/internal/hv"
+	"github.com/elisa-go/elisa/internal/mem"
+)
+
+// Schemes lists the five backends of the paper's networking figures, in
+// plot order.
+var Schemes = []string{"ivshmem", "vmcall", "elisa", "vhost-net", "sriov"}
+
+// guestRAM is the RAM given to networking guests (staging areas included).
+const guestRAM = 64 * mem.PageSize
+
+// physBytes is the machine size used by the networking experiments.
+const physBytes = 256 * 1024 * 1024
+
+// BuildBackend assembles a fresh machine — hypervisor, NIC, one guest —
+// wired through the named scheme. Each call builds an isolated world, so
+// schemes never share hypercall tables or rings.
+func BuildBackend(scheme string) (*hv.Hypervisor, *NIC, Backend, error) {
+	h, err := hv.New(hv.Config{PhysBytes: physBytes})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	nic, err := NewNIC(h)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	vm, err := h.CreateVM("net-guest", guestRAM)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var b Backend
+	switch scheme {
+	case "ivshmem":
+		b, err = NewDirectBackend(h, nic, vm)
+	case "sriov":
+		b, err = NewSRIOVBackend(h, nic, vm)
+	case "vmcall":
+		b, err = NewVMCallBackend(h, nic, vm)
+	case "vhost-net":
+		b, err = NewVhostBackend(h, nic, vm)
+	case "elisa":
+		mgr, merr := core.NewManager(h, core.ManagerConfig{})
+		if merr != nil {
+			return nil, nil, nil, merr
+		}
+		g, gerr := core.NewGuest(vm, mgr)
+		if gerr != nil {
+			return nil, nil, nil, gerr
+		}
+		b, err = NewELISABackend(h, mgr, nic, g)
+	default:
+		return nil, nil, nil, fmt.Errorf("vnet: unknown scheme %q", scheme)
+	}
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return h, nic, b, nil
+}
+
+// BuildVVPath assembles a fresh machine with two guests wired through the
+// named VM-to-VM scheme.
+func BuildVVPath(scheme string) (VVPath, error) {
+	h, err := hv.New(hv.Config{PhysBytes: physBytes})
+	if err != nil {
+		return nil, err
+	}
+	a, err := h.CreateVM("vm-a", guestRAM)
+	if err != nil {
+		return nil, err
+	}
+	b, err := h.CreateVM("vm-b", guestRAM)
+	if err != nil {
+		return nil, err
+	}
+	switch scheme {
+	case "ivshmem":
+		return NewDirectVVPath(h, a, b)
+	case "sriov":
+		return NewSRIOVVVPath(h, a, b)
+	case "vmcall":
+		return NewVMCallVVPath(h, a, b)
+	case "vhost-net":
+		return NewVhostVVPath(h, a, b)
+	case "elisa":
+		mgr, err := core.NewManager(h, core.ManagerConfig{})
+		if err != nil {
+			return nil, err
+		}
+		ga, err := core.NewGuest(a, mgr)
+		if err != nil {
+			return nil, err
+		}
+		gb, err := core.NewGuest(b, mgr)
+		if err != nil {
+			return nil, err
+		}
+		return NewELISAVVPath(h, mgr, ga, gb)
+	default:
+		return nil, fmt.Errorf("vnet: unknown scheme %q", scheme)
+	}
+}

@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformBoundsAndDeterminism(t *testing.T) {
+	u1, err := NewUniform(42, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, _ := NewUniform(42, 100)
+	for i := 0; i < 1000; i++ {
+		a, b := u1.Next(), u2.Next()
+		if a != b {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a, b)
+		}
+		if a < 0 || a >= 100 {
+			t.Fatalf("out of range: %d", a)
+		}
+	}
+	if _, err := NewUniform(1, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestUniformCoversKeyspace(t *testing.T) {
+	u, _ := NewUniform(7, 10)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[u.Next()] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("only %d/10 keys seen", len(seen))
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z, err := NewZipf(1, 1000, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 1000)
+	for i := 0; i < 100_000; i++ {
+		k := z.Next()
+		if k < 0 || k >= 1000 {
+			t.Fatalf("out of range: %d", k)
+		}
+		counts[k]++
+	}
+	// Head must be much hotter than the tail.
+	if counts[0] < 10*counts[500]+1 {
+		t.Fatalf("no skew: head=%d mid=%d", counts[0], counts[500])
+	}
+	if _, err := NewZipf(1, 100, 0.9); err == nil {
+		t.Fatal("s<=1 accepted")
+	}
+	if _, err := NewZipf(1, 0, 1.2); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestMixRatio(t *testing.T) {
+	m, err := NewMix(3, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := 0
+	for i := 0; i < 10_000; i++ {
+		if m.Read() {
+			reads++
+		}
+	}
+	if reads < 8800 || reads > 9200 {
+		t.Fatalf("read fraction %.3f, want ~0.9", float64(reads)/10000)
+	}
+	if _, err := NewMix(1, 1.5); err == nil {
+		t.Fatal("ratio > 1 accepted")
+	}
+}
+
+func TestPoissonMeanRate(t *testing.T) {
+	p, err := NewPoisson(11, 1_000_000) // 1M/s => mean gap 1000ns
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		g := p.NextInterval()
+		if g < 1 {
+			t.Fatalf("non-positive gap %v", g)
+		}
+		total += int64(g)
+	}
+	mean := float64(total) / n
+	if mean < 950 || mean > 1050 {
+		t.Fatalf("mean gap %.1fns, want ~1000", mean)
+	}
+	if _, err := NewPoisson(1, 0); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}
+
+func TestFillCheckPattern(t *testing.T) {
+	f := func(k uint8, n uint8) bool {
+		buf := make([]byte, int(n)+1)
+		FillPattern(buf, int(k))
+		if !CheckPattern(buf, int(k)) {
+			return false
+		}
+		// A flipped byte must be detected.
+		buf[len(buf)/2] ^= 0xff
+		return !CheckPattern(buf, int(k))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPacketSizesMatchPaperSweep(t *testing.T) {
+	want := []int{64, 128, 256, 512, 1024, 1472}
+	if len(PacketSizes) != len(want) {
+		t.Fatalf("sweep length %d", len(PacketSizes))
+	}
+	for i, v := range want {
+		if PacketSizes[i] != v {
+			t.Fatalf("sweep[%d] = %d, want %d", i, PacketSizes[i], v)
+		}
+	}
+}
