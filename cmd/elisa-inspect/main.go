@@ -20,14 +20,22 @@ import (
 func main() {
 	guests := flag.Int("guests", 2, "number of tenant guests")
 	objects := flag.Int("objects", 2, "number of shared objects")
+	traceDump := flag.Bool("trace", false, "also dump the slow-path trace buffer and the sampled fast-path span ring")
 	flag.Parse()
-	if err := run(*guests, *objects); err != nil {
+	if err := run(*guests, *objects, *traceDump); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(nGuests, nObjects int) error {
-	sys, err := elisa.NewSystem(elisa.Config{})
+func run(nGuests, nObjects int, traceDump bool) error {
+	cfg := elisa.Config{}
+	if traceDump {
+		// The forensic view: retain slow-path events and record every
+		// fast-path span (no sampling) so the dump below is complete.
+		cfg.TraceEvents = 4096
+		cfg.Observe = &elisa.ObserveConfig{SampleEvery: 1}
+	}
+	sys, err := elisa.NewSystem(cfg)
 	if err != nil {
 		return err
 	}
@@ -100,6 +108,18 @@ func run(nGuests, nObjects int) error {
 		return fmt.Errorf("FSCK FAILED: %w", err)
 	}
 	fmt.Println("\nfsck: bookkeeping consistent with machine state")
+
+	if traceDump {
+		fmt.Printf("\nslow-path trace (%d events emitted, %d retained):\n",
+			sys.Trace().Emitted(), sys.Trace().Len())
+		fmt.Print(sys.Trace().String())
+		rec := sys.Recorder()
+		fmt.Printf("\nfast-path span ring (%d spans seen, %d sampled):\n",
+			rec.SpansSeen(), rec.SpansSampled())
+		for _, sp := range sys.Spans() {
+			fmt.Println(sp)
+		}
+	}
 	return nil
 }
 

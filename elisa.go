@@ -37,6 +37,7 @@ import (
 	"github.com/elisa-go/elisa/internal/ept"
 	"github.com/elisa-go/elisa/internal/hv"
 	"github.com/elisa-go/elisa/internal/mem"
+	"github.com/elisa-go/elisa/internal/obs"
 	"github.com/elisa-go/elisa/internal/simtime"
 	"github.com/elisa-go/elisa/internal/trace"
 )
@@ -68,6 +69,20 @@ type (
 	Duration = simtime.Duration
 	// CostModel is the simulated-machine cost model.
 	CostModel = simtime.CostModel
+	// ObserveConfig configures the fast-path flight recorder
+	// (Config.Observe).
+	ObserveConfig = obs.Config
+	// Recorder is the fast-path flight recorder: sampled call spans plus
+	// per-(guest, object, fn) latency histograms.
+	Recorder = obs.Recorder
+	// Span is one recorded exit-less call, decomposed into the phases of
+	// the paper's Table 2 cost breakdown.
+	Span = obs.Span
+	// Registry is the metrics registry behind System.Metrics, with
+	// Prometheus-text and JSON exporters.
+	Registry = obs.Registry
+	// Metric is one exported metric family.
+	Metric = obs.Metric
 )
 
 // Permission bits for grants.
@@ -96,13 +111,22 @@ type Config struct {
 	// TraceEvents, when positive, retains the last N machine events
 	// (exits, kills, negotiations) readable via System.Trace.
 	TraceEvents int
+	// Observe, when non-nil, attaches a flight recorder to the exit-less
+	// fast path: every Handle.Call/CallMulti reports a phase-decomposed
+	// span (sampled 1-in-N into a bounded ring) and feeds per-attachment
+	// latency histograms. Recording reads the simulated clock but never
+	// charges it, so latencies are identical with and without it. Nil
+	// leaves observability off; the fast path then pays only a nil check.
+	Observe *ObserveConfig
 }
 
 // System is one simulated machine with ELISA installed: a hypervisor, the
 // manager VM, and any number of guests.
 type System struct {
-	hv  *hv.Hypervisor
-	mgr *core.Manager
+	hv      *hv.Hypervisor
+	mgr     *core.Manager
+	rec     *obs.Recorder
+	metrics *obs.Registry
 }
 
 // NewSystem boots the machine and the ELISA manager.
@@ -118,7 +142,13 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{hv: h, mgr: mgr}, nil
+	s := &System{hv: h, mgr: mgr}
+	if cfg.Observe != nil {
+		s.rec = obs.NewRecorder(*cfg.Observe)
+		mgr.SetRecorder(s.rec)
+	}
+	s.metrics = newMetricsRegistry(h, mgr, s.rec)
+	return s, nil
 }
 
 // Manager returns the ELISA manager runtime.
@@ -131,6 +161,20 @@ func (s *System) Hypervisor() *Hypervisor { return s.hv }
 // Trace returns the machine's event buffer (nil unless Config.TraceEvents
 // was set).
 func (s *System) Trace() *trace.Buffer { return s.hv.Trace() }
+
+// Metrics returns the system's metrics registry: live counters and gauges
+// from the hypervisor and manager, plus — when Config.Observe is set —
+// the fast-path latency summaries. Render with Prometheus() or JSON().
+func (s *System) Metrics() *Registry { return s.metrics }
+
+// Recorder returns the fast-path flight recorder (nil unless
+// Config.Observe was set). A nil Recorder is safe to query; every
+// accessor returns empty results.
+func (s *System) Recorder() *Recorder { return s.rec }
+
+// Spans returns the retained sampled call spans, oldest first (nil unless
+// Config.Observe was set).
+func (s *System) Spans() []Span { return s.rec.Spans() }
 
 // GuestVM is a guest with the ELISA library initialised.
 type GuestVM struct {

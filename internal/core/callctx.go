@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/elisa-go/elisa/internal/mem"
+	"github.com/elisa-go/elisa/internal/simtime"
 )
 
 // Bounds-checked accessors for manager functions. They all go through the
@@ -43,8 +44,18 @@ func (c *CallContext) SetObjectU64(off int, v uint64) error {
 	return c.VCPU.WriteU64GPA(c.Object+mem.GPA(off), v)
 }
 
+// noteExchange attributes the simulated time elapsed since start to the
+// call's exchange phase. Deferred with the pre-operation clock value, so
+// the charged copy cost lands in the accumulator.
+func (c *CallContext) noteExchange(start simtime.Time) {
+	*c.exchTime += c.VCPU.Clock().Elapsed(start)
+}
+
 // ReadExchange copies exchange-buffer bytes at off into p.
 func (c *CallContext) ReadExchange(off int, p []byte) error {
+	if c.exchTime != nil {
+		defer c.noteExchange(c.VCPU.Clock().Now())
+	}
 	if off < 0 || off+len(p) > c.ExchangeSize {
 		return fmt.Errorf("core: exchange read [%d,+%d) outside size %d", off, len(p), c.ExchangeSize)
 	}
@@ -53,6 +64,9 @@ func (c *CallContext) ReadExchange(off int, p []byte) error {
 
 // WriteExchange copies p into the exchange buffer at off.
 func (c *CallContext) WriteExchange(off int, p []byte) error {
+	if c.exchTime != nil {
+		defer c.noteExchange(c.VCPU.Clock().Now())
+	}
 	if off < 0 || off+len(p) > c.ExchangeSize {
 		return fmt.Errorf("core: exchange write [%d,+%d) outside size %d", off, len(p), c.ExchangeSize)
 	}
@@ -62,6 +76,9 @@ func (c *CallContext) WriteExchange(off int, p []byte) error {
 // CopyExchangeToObject moves n bytes from the exchange buffer into the
 // object in one charged copy (the common PUT/TX pattern).
 func (c *CallContext) CopyExchangeToObject(objOff, exOff, n int) error {
+	if c.exchTime != nil {
+		defer c.noteExchange(c.VCPU.Clock().Now())
+	}
 	if exOff < 0 || exOff+n > c.ExchangeSize {
 		return fmt.Errorf("core: exchange range [%d,+%d) outside size %d", exOff, n, c.ExchangeSize)
 	}
@@ -74,6 +91,9 @@ func (c *CallContext) CopyExchangeToObject(objOff, exOff, n int) error {
 // CopyObjectToExchange moves n bytes from the object into the exchange
 // buffer (the common GET/RX pattern).
 func (c *CallContext) CopyObjectToExchange(exOff, objOff, n int) error {
+	if c.exchTime != nil {
+		defer c.noteExchange(c.VCPU.Clock().Now())
+	}
 	if exOff < 0 || exOff+n > c.ExchangeSize {
 		return fmt.Errorf("core: exchange range [%d,+%d) outside size %d", exOff, n, c.ExchangeSize)
 	}

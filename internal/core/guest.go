@@ -8,6 +8,8 @@ import (
 	"github.com/elisa-go/elisa/internal/gpt"
 	"github.com/elisa-go/elisa/internal/hv"
 	"github.com/elisa-go/elisa/internal/mem"
+	"github.com/elisa-go/elisa/internal/obs"
+	"github.com/elisa-go/elisa/internal/simtime"
 )
 
 // Guest is the guest-side ELISA library for one VM: it performs the
@@ -168,6 +170,18 @@ func (h *Handle) Call(v *cpu.VCPU, fnID uint64, args ...uint64) (uint64, error) 
 	cost := v.Cost()
 	mgr := h.g.mgr
 
+	// Flight recorder: phase boundaries are read from the vCPU clock but
+	// never charged to it, so observation cannot perturb the latency it
+	// measures. rec == nil (observability off) costs one comparison.
+	rec := mgr.rec
+	var t0, tGate, tSub, tFn simtime.Time
+	var exchange simtime.Duration
+	var exchp *simtime.Duration
+	if rec != nil {
+		t0 = v.Clock().Now()
+		exchp = &exchange
+	}
+
 	// --- inbound: default -> gate -> sub ---
 	if err := v.FetchExec(h.gateGVA); err != nil {
 		return 0, err
@@ -175,6 +189,9 @@ func (h *Handle) Call(v *cpu.VCPU, fnID uint64, args ...uint64) (uint64, error) 
 	v.Charge(cost.GateCode) // spill registers, stash target slot
 	if err := v.VMFunc(cpu.VMFuncLeafEPTPSwitch, IdxGate); err != nil {
 		return 0, err
+	}
+	if rec != nil {
+		tGate = v.Clock().Now()
 	}
 	if err := v.FetchExec(h.gateGVA); err != nil {
 		return 0, err
@@ -186,18 +203,28 @@ func (h *Handle) Call(v *cpu.VCPU, fnID uint64, args ...uint64) (uint64, error) 
 		if err := v.VMFunc(cpu.VMFuncLeafEPTPSwitch, IdxDefault); err != nil {
 			return 0, err
 		}
+		if rec != nil {
+			now := v.Clock().Now()
+			h.recordSpan(rec, fnID, 1, true, t0, tGate, now, now, now, 0)
+		}
 		return 0, fmt.Errorf("core: gate refused slot %d for guest %q", h.subIdx, h.g.vm.Name())
 	}
 	if err := v.VMFunc(cpu.VMFuncLeafEPTPSwitch, h.subIdx); err != nil {
 		return 0, err
 	}
+	if rec != nil {
+		tSub = v.Clock().Now()
+	}
 
 	// --- in the sub context: run the manager function ---
-	ret, fnErr := mgr.invoke(v, h, fnID, args)
+	ret, fnErr := mgr.invoke(v, h, fnID, args, exchp)
 	if v.Dead() {
 		// The function faulted and the hypervisor killed the VM; there
 		// is no context to return to.
 		return 0, fnErr
+	}
+	if rec != nil {
+		tFn = v.Clock().Now()
 	}
 
 	// --- outbound: sub -> gate -> default ---
@@ -217,11 +244,34 @@ func (h *Handle) Call(v *cpu.VCPU, fnID uint64, args ...uint64) (uint64, error) 
 	if err := v.FetchExec(h.gateGVA); err != nil { // epilogue + ret
 		return 0, err
 	}
+	if rec != nil {
+		h.recordSpan(rec, fnID, 1, fnErr != nil, t0, tGate, tSub, tFn, v.Clock().Now(), exchange)
+	}
 	if fnErr != nil {
 		return ret, fnErr
 	}
 	v.Regs[cpu.RAX] = ret
 	return ret, nil
+}
+
+// recordSpan assembles a phase-decomposed span from the boundary
+// timestamps and offers it to the flight recorder. The function phase is
+// invoke's total minus the time its exchange helpers accounted for.
+func (h *Handle) recordSpan(rec *obs.Recorder, fnID uint64, batch int, errFlag bool,
+	t0, tGate, tSub, tFn, end simtime.Time, exchange simtime.Duration) {
+	var sp obs.Span
+	sp.Start = t0
+	sp.Guest = h.g.vm.Name()
+	sp.Object = h.objName
+	sp.Fn = fnID
+	sp.Batch = batch
+	sp.Err = errFlag
+	sp.Phases[obs.PhaseGateIn] = tGate.Sub(t0)
+	sp.Phases[obs.PhaseSubSwitch] = tSub.Sub(tGate)
+	sp.Phases[obs.PhaseFunc] = tFn.Sub(tSub) - exchange
+	sp.Phases[obs.PhaseExchange] = exchange
+	sp.Phases[obs.PhaseReturn] = end.Sub(tFn)
+	rec.Record(sp)
 }
 
 // ExchangeWrite stages data into the exchange buffer from the guest's
@@ -250,8 +300,10 @@ func (m *Manager) gateAllows(vmID, idx int) bool {
 
 // invoke dispatches a manager function while the vCPU is in the sub
 // context. The instruction fetch on the manager code page is the model's
-// proof that the code is reachable (and only reachable) there.
-func (m *Manager) invoke(v *cpu.VCPU, h *Handle, fnID uint64, args []uint64) (uint64, error) {
+// proof that the code is reachable (and only reachable) there. exchange,
+// when non-nil, receives the time the function spends in exchange-buffer
+// helpers (flight-recorder phase accounting).
+func (m *Manager) invoke(v *cpu.VCPU, h *Handle, fnID uint64, args []uint64, exchange *simtime.Duration) (uint64, error) {
 	gs := m.guests[h.g.vm.ID()]
 	a := gs.attachments[h.objName]
 	if err := v.FetchExec(mem.GVA(MgrCodeGPA)); err != nil {
@@ -270,6 +322,7 @@ func (m *Manager) invoke(v *cpu.VCPU, h *Handle, fnID uint64, args []uint64) (ui
 		Exchange:     a.exchangeGPA,
 		ExchangeSize: a.exchange.Size(),
 		GuestID:      h.g.vm.ID(),
+		exchTime:     exchange,
 	}
 	copy(ctx.Args[:], args)
 	ret, err := fn(ctx)
@@ -307,6 +360,17 @@ func (h *Handle) CallMulti(v *cpu.VCPU, reqs []Req) error {
 	cost := v.Cost()
 	mgr := h.g.mgr
 
+	// Flight recorder (see Call): one span covers the whole batch, and
+	// each request's in-sub-context latency lands in its own series.
+	rec := mgr.rec
+	var t0, tGate, tSub, tFn simtime.Time
+	var exchange simtime.Duration
+	var exchp *simtime.Duration
+	if rec != nil {
+		t0 = v.Clock().Now()
+		exchp = &exchange
+	}
+
 	// Inbound crossing (identical to Call).
 	if err := v.FetchExec(h.gateGVA); err != nil {
 		return err
@@ -315,6 +379,9 @@ func (h *Handle) CallMulti(v *cpu.VCPU, reqs []Req) error {
 	if err := v.VMFunc(cpu.VMFuncLeafEPTPSwitch, IdxGate); err != nil {
 		return err
 	}
+	if rec != nil {
+		tGate = v.Clock().Now()
+	}
 	if err := v.FetchExec(h.gateGVA); err != nil {
 		return err
 	}
@@ -322,18 +389,41 @@ func (h *Handle) CallMulti(v *cpu.VCPU, reqs []Req) error {
 		if err := v.VMFunc(cpu.VMFuncLeafEPTPSwitch, IdxDefault); err != nil {
 			return err
 		}
+		if rec != nil {
+			now := v.Clock().Now()
+			h.recordSpan(rec, reqs[0].Fn, len(reqs), true, t0, tGate, now, now, now, 0)
+		}
 		return fmt.Errorf("core: gate refused slot %d for guest %q", h.subIdx, h.g.vm.Name())
 	}
 	if err := v.VMFunc(cpu.VMFuncLeafEPTPSwitch, h.subIdx); err != nil {
 		return err
 	}
+	if rec != nil {
+		tSub = v.Clock().Now()
+	}
 
 	// Run the whole batch inside the sub context.
+	anyErr := false
 	for i := range reqs {
-		reqs[i].Ret, reqs[i].Err = mgr.invoke(v, h, reqs[i].Fn, reqs[i].Args[:])
+		var reqStart simtime.Time
+		if rec != nil {
+			reqStart = v.Clock().Now()
+		}
+		reqs[i].Ret, reqs[i].Err = mgr.invoke(v, h, reqs[i].Fn, reqs[i].Args[:], exchp)
 		if v.Dead() {
 			return reqs[i].Err
 		}
+		if reqs[i].Err != nil {
+			anyErr = true
+		}
+		if rec != nil {
+			// Per-request latency excludes the amortised gate crossing:
+			// it is the in-sub-context service time of this one request.
+			rec.RecordLatency(h.g.vm.Name(), h.objName, reqs[i].Fn, v.Clock().Elapsed(reqStart))
+		}
+	}
+	if rec != nil {
+		tFn = v.Clock().Now()
 	}
 
 	// Outbound crossing.
@@ -350,5 +440,11 @@ func (h *Handle) CallMulti(v *cpu.VCPU, reqs []Req) error {
 	if err := v.VMFunc(cpu.VMFuncLeafEPTPSwitch, IdxDefault); err != nil {
 		return err
 	}
-	return v.FetchExec(h.gateGVA)
+	if err := v.FetchExec(h.gateGVA); err != nil {
+		return err
+	}
+	if rec != nil {
+		h.recordSpan(rec, reqs[0].Fn, len(reqs), anyErr, t0, tGate, tSub, tFn, v.Clock().Now(), exchange)
+	}
+	return nil
 }

@@ -7,6 +7,8 @@ import (
 	"github.com/elisa-go/elisa/internal/ept"
 	"github.com/elisa-go/elisa/internal/hv"
 	"github.com/elisa-go/elisa/internal/mem"
+	"github.com/elisa-go/elisa/internal/obs"
+	"github.com/elisa-go/elisa/internal/simtime"
 	"github.com/elisa-go/elisa/internal/trace"
 )
 
@@ -90,6 +92,11 @@ type CallContext struct {
 	// GuestID identifies the calling VM (for per-guest state in
 	// manager functions).
 	GuestID int
+
+	// exchTime, when non-nil, accumulates the simulated time the call
+	// spends in the exchange-buffer helpers (the flight recorder's
+	// exchange phase). Set by Manager.invoke while a recorder is attached.
+	exchTime *simtime.Duration
 }
 
 // ObjectFunc is a manager-provided function: code the manager publishes in
@@ -112,7 +119,20 @@ type Manager struct {
 
 	guests map[int]*guestState // by VM id
 	funcs  map[uint64]ObjectFunc
+
+	// rec, when non-nil, is the fast-path flight recorder Call/CallMulti
+	// report spans to. Nil means observability is off and the hot path
+	// pays exactly one pointer comparison.
+	rec *obs.Recorder
 }
+
+// SetRecorder attaches (or, with nil, detaches) the fast-path flight
+// recorder. Recording never charges simulated time, so switching it on
+// does not change any measured latency.
+func (m *Manager) SetRecorder(r *obs.Recorder) { m.rec = r }
+
+// Recorder returns the attached flight recorder (nil when off).
+func (m *Manager) Recorder() *obs.Recorder { return m.rec }
 
 // guestState is the manager's per-guest bookkeeping.
 type guestState struct {

@@ -122,6 +122,26 @@ func (h *Hypervisor) VMs() []*VM {
 // protocol violations.
 func (h *Hypervisor) KilledVMs() int { return h.killed }
 
+// MachineStats is an aggregate host snapshot for the metrics layer.
+type MachineStats struct {
+	// VMs is the number of live VMs (manager included).
+	VMs int
+	// Killed counts VMs terminated for protocol violations.
+	Killed int
+	// TraceEmitted is the total number of slow-path events ever emitted
+	// (0 when tracing is off).
+	TraceEmitted uint64
+}
+
+// MachineStats returns the aggregate host snapshot.
+func (h *Hypervisor) MachineStats() MachineStats {
+	return MachineStats{
+		VMs:          len(h.vms),
+		Killed:       h.killed,
+		TraceEmitted: h.trace.Emitted(),
+	}
+}
+
 // HandleExit implements cpu.ExitHandler: the single funnel every VM exit
 // goes through.
 func (h *Hypervisor) HandleExit(v *cpu.VCPU, e *cpu.Exit) (cpu.Action, uint64, error) {

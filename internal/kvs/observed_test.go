@@ -1,0 +1,83 @@
+package kvs
+
+import (
+	"testing"
+
+	"github.com/elisa-go/elisa/internal/obs"
+	"github.com/elisa-go/elisa/internal/workload"
+)
+
+// An observed ELISA cluster feeds the recorder from the store's fast
+// path, and doing so never changes simulated throughput: recording reads
+// clocks without charging them.
+func TestObservedClusterRecordsWithoutChangingResults(t *testing.T) {
+	run := func(rec *obs.Recorder) (float64, float64) {
+		cluster, err := BuildObservedCluster("elisa", 2, DefaultLayout, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := makeKeys(64)
+		val := make([]byte, 100)
+		if err := cluster.Preload(keys, val); err != nil {
+			t.Fatal(err)
+		}
+		choosers := make([]workload.KeyChooser, 2)
+		for i := range choosers {
+			choosers[i], _ = workload.NewUniform(int64(i+3), len(keys))
+		}
+		g, err := cluster.RunGets(200, keys, choosers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := cluster.RunPuts(200, keys, choosers, val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.AggMops, p.AggMops
+	}
+
+	rec := obs.NewRecorder(obs.Config{SampleEvery: 1})
+	gObs, pObs := run(rec)
+	gOff, pOff := run(nil)
+	if gObs != gOff || pObs != pOff {
+		t.Fatalf("observation changed results: observed (%v,%v) vs off (%v,%v)",
+			gObs, pObs, gOff, pOff)
+	}
+	if rec.SpansSeen() == 0 {
+		t.Fatal("no spans recorded from the ELISA store path")
+	}
+	if len(rec.Keys()) == 0 {
+		t.Fatal("no latency series recorded")
+	}
+	h := rec.GuestHistogram("kv-client-0")
+	if h.Count() == 0 {
+		t.Fatal("client 0 recorded no latencies")
+	}
+	if h.Percentile(0.50) <= 0 {
+		t.Fatalf("p50 = %d", h.Percentile(0.50))
+	}
+}
+
+// Exit-ful schemes never cross a gate, so the recorder attached to them
+// must stay empty — the flight recorder watches only the ELISA fast path.
+func TestObservedClusterIgnoredByExitfulSchemes(t *testing.T) {
+	for _, scheme := range []string{"ivshmem", "vmcall"} {
+		rec := obs.NewRecorder(obs.Config{SampleEvery: 1})
+		cluster, err := BuildObservedCluster(scheme, 1, DefaultLayout, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := makeKeys(16)
+		val := make([]byte, 64)
+		if err := cluster.Preload(keys, val); err != nil {
+			t.Fatal(err)
+		}
+		ch, _ := workload.NewUniform(1, len(keys))
+		if _, err := cluster.RunGets(50, keys, []workload.KeyChooser{ch}); err != nil {
+			t.Fatal(err)
+		}
+		if rec.SpansSeen() != 0 {
+			t.Fatalf("%s: recorder saw %d spans, want 0", scheme, rec.SpansSeen())
+		}
+	}
+}

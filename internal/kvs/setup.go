@@ -6,6 +6,7 @@ import (
 	"github.com/elisa-go/elisa/internal/core"
 	"github.com/elisa-go/elisa/internal/hv"
 	"github.com/elisa-go/elisa/internal/mem"
+	"github.com/elisa-go/elisa/internal/obs"
 )
 
 // KVSchemes lists the three sharing schemes of the paper's KV figures.
@@ -21,6 +22,15 @@ const clientStaging mem.GPA = 0x2000
 // BuildCluster assembles a fresh machine running `vms` client VMs against
 // one shared store through the named scheme.
 func BuildCluster(scheme string, vms int, l Layout) (*Cluster, error) {
+	return BuildObservedCluster(scheme, vms, l, nil)
+}
+
+// BuildObservedCluster is BuildCluster with a flight recorder attached to
+// the ELISA manager, so the store's fast-path calls populate per-client
+// latency histograms and sampled spans. The recorder is ignored by the
+// exit-ful schemes (ivshmem, vmcall), whose data paths never cross a
+// gate; nil behaves exactly like BuildCluster.
+func BuildObservedCluster(scheme string, vms int, l Layout, rec *obs.Recorder) (*Cluster, error) {
 	if vms <= 0 {
 		return nil, fmt.Errorf("kvs: cluster needs at least one VM")
 	}
@@ -66,6 +76,7 @@ func BuildCluster(scheme string, vms int, l Layout) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		mgr.SetRecorder(rec)
 		svc, err := NewELISAService(h, mgr, "kv-store", l)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/elisa-go/elisa/internal/stats"
+)
+
+// MetricType classifies a metric family, using Prometheus vocabulary.
+type MetricType string
+
+// Metric types.
+const (
+	TypeCounter MetricType = "counter"
+	TypeGauge   MetricType = "gauge"
+	TypeSummary MetricType = "summary"
+)
+
+// Sample is one value of a metric family.
+type Sample struct {
+	// Suffix is appended to the family name when rendering (summaries use
+	// "_sum" and "_count"; plain samples leave it empty).
+	Suffix string `json:"suffix,omitempty"`
+	// Labels are the sample's label pairs.
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value is the sample value.
+	Value float64 `json:"value"`
+}
+
+// Metric is one metric family: a name, help text, a type, and samples.
+type Metric struct {
+	Name    string     `json:"name"`
+	Help    string     `json:"help,omitempty"`
+	Type    MetricType `json:"type"`
+	Samples []Sample   `json:"samples"`
+}
+
+// Collector produces metrics on demand; registries pull collectors at
+// Gather time so exports always reflect live state.
+type Collector func() []Metric
+
+// Registry aggregates collectors and renders their output.
+type Registry struct {
+	mu         sync.Mutex
+	collectors []Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds a collector (nil collectors are ignored).
+func (r *Registry) Register(c Collector) {
+	if c == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, c)
+}
+
+// Gather pulls every collector and returns the metrics sorted by family
+// name, with each family's samples in a deterministic label order, so two
+// exports of the same state are byte-identical.
+func (r *Registry) Gather() []Metric {
+	r.mu.Lock()
+	cs := make([]Collector, len(r.collectors))
+	copy(cs, r.collectors)
+	r.mu.Unlock()
+	var out []Metric
+	for _, c := range cs {
+		out = append(out, c()...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	for i := range out {
+		ss := out[i].Samples
+		sort.SliceStable(ss, func(a, b int) bool {
+			if ss[a].Suffix != ss[b].Suffix {
+				return ss[a].Suffix < ss[b].Suffix
+			}
+			return labelString(ss[a].Labels) < labelString(ss[b].Labels)
+		})
+	}
+	return out
+}
+
+// Prometheus renders the gathered metrics in the Prometheus text
+// exposition format.
+func (r *Registry) Prometheus() string {
+	var b strings.Builder
+	for _, m := range r.Gather() {
+		if m.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", m.Name, m.Help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.Name, m.Type)
+		for _, s := range m.Samples {
+			b.WriteString(m.Name)
+			b.WriteString(s.Suffix)
+			b.WriteString(labelString(s.Labels))
+			fmt.Fprintf(&b, " %s\n", formatValue(s.Value))
+		}
+	}
+	return b.String()
+}
+
+// JSON renders the gathered metrics as an indented JSON array.
+func (r *Registry) JSON() ([]byte, error) {
+	ms := r.Gather()
+	if ms == nil {
+		ms = []Metric{}
+	}
+	return json.MarshalIndent(ms, "", "  ")
+}
+
+// labelString renders a label set as {k="v",...} with sorted keys, or ""
+// when empty.
+func labelString(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, escapeLabel(labels[k]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// SummaryQuantiles are the quantiles exported for every latency series.
+var SummaryQuantiles = []float64{0.5, 0.9, 0.99}
+
+// Summary converts a histogram snapshot into summary samples (quantiles
+// plus _sum and _count) under the given labels, ready to append to a
+// TypeSummary family.
+func Summary(labels map[string]string, h *stats.Histogram) []Sample {
+	out := make([]Sample, 0, len(SummaryQuantiles)+2)
+	for _, q := range SummaryQuantiles {
+		ls := make(map[string]string, len(labels)+1)
+		for k, v := range labels {
+			ls[k] = v
+		}
+		ls["quantile"] = fmt.Sprintf("%g", q)
+		out = append(out, Sample{Labels: ls, Value: float64(h.Percentile(q))})
+	}
+	out = append(out,
+		Sample{Suffix: "_sum", Labels: labels, Value: float64(h.Sum())},
+		Sample{Suffix: "_count", Labels: labels, Value: float64(h.Count())},
+	)
+	return out
+}
+
+// CollectRecorder builds the recorder's own metric families: span
+// counters and one latency summary per (guest, object, fn) series. It
+// returns nil for a nil recorder, so it can be registered unconditionally.
+func CollectRecorder(r *Recorder) Collector {
+	if r == nil {
+		return nil
+	}
+	return func() []Metric {
+		spans := Metric{
+			Name: "elisa_spans_total",
+			Help: "Fast-path call spans offered to the flight recorder, by disposition.",
+			Type: TypeCounter,
+			Samples: []Sample{
+				{Labels: map[string]string{"disposition": "seen"}, Value: float64(r.SpansSeen())},
+				{Labels: map[string]string{"disposition": "sampled"}, Value: float64(r.SpansSampled())},
+			},
+		}
+		lat := Metric{
+			Name: "elisa_call_latency_ns",
+			Help: "End-to-end exit-less call latency in simulated nanoseconds.",
+			Type: TypeSummary,
+		}
+		for _, k := range r.Keys() {
+			labels := map[string]string{
+				"guest":  k.Guest,
+				"object": k.Object,
+				"fn":     fmt.Sprintf("%d", k.Fn),
+			}
+			lat.Samples = append(lat.Samples, Summary(labels, r.Histogram(k))...)
+		}
+		return []Metric{spans, lat}
+	}
+}

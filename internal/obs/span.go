@@ -1,0 +1,112 @@
+// Package obs is the flight recorder of the exit-less fast path: call
+// spans decomposed into the phases the paper's Table 2 measures,
+// per-(guest, object, function) latency histograms, and a metrics
+// registry with Prometheus-style and JSON exporters.
+//
+// The slow path already has an observability substrate (package trace
+// records exits, kills, and negotiations); obs covers the part trace
+// cannot see — the exit-less calls that, by design, never reach the
+// hypervisor. Recording is purely host-side bookkeeping: it reads the
+// calling vCPU's simulated clock but never charges it, so enabling
+// observability does not perturb a single simulated-time measurement.
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/elisa-go/elisa/internal/simtime"
+)
+
+// Phase indexes one component of an ELISA call span. The decomposition
+// mirrors the cost structure behind the paper's Table 2 round trip
+// (4*VMFunc + 2*GateCode + 6 fetches = 196 ns) plus the work done inside
+// the sub context.
+type Phase int
+
+// Span phases, in call order.
+const (
+	// PhaseGateIn is the inbound entry: gate-page fetch in the default
+	// context, register spill, and the VMFUNC into the gate context.
+	PhaseGateIn Phase = iota
+	// PhaseSubSwitch is the gate's work: gate-page fetch, grant-table
+	// check, and the VMFUNC into the sub context.
+	PhaseSubSwitch
+	// PhaseFunc is manager-function execution in the sub context
+	// (manager-code fetch and the function body, minus exchange copies).
+	PhaseFunc
+	// PhaseExchange is time the function spent moving bytes through the
+	// exchange buffer (the copy component of PUT/GET/TX/RX patterns).
+	PhaseExchange
+	// PhaseReturn is the outbound chain: sub -> gate -> default, with the
+	// register restore and the epilogue fetch.
+	PhaseReturn
+	// NumPhases is the number of span phases.
+	NumPhases
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseGateIn:
+		return "gate-in"
+	case PhaseSubSwitch:
+		return "sub-switch"
+	case PhaseFunc:
+		return "func"
+	case PhaseExchange:
+		return "exchange"
+	case PhaseReturn:
+		return "return"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// Span is one recorded fast-path invocation: a Handle.Call, or one whole
+// Handle.CallMulti batch.
+type Span struct {
+	// Seq numbers every span offered to the recorder (sampled or not), so
+	// gaps in a dumped ring reveal both sampling and ring eviction.
+	Seq uint64
+	// Start is the calling vCPU's simulated time at call entry.
+	Start simtime.Time
+	// Guest and Object identify the attachment.
+	Guest  string
+	Object string
+	// Fn is the manager function id (the first request's id for a batch).
+	Fn uint64
+	// Batch is the number of requests under the gate crossing (1 for Call).
+	Batch int
+	// Err reports whether any function invocation returned an error, or
+	// the gate refused the slot.
+	Err bool
+	// Phases holds the simulated duration of each phase.
+	Phases [NumPhases]simtime.Duration
+}
+
+// Total is the span's end-to-end simulated duration.
+func (s Span) Total() simtime.Duration {
+	var t simtime.Duration
+	for _, d := range s.Phases {
+		t += d
+	}
+	return t
+}
+
+// String renders the span on one line, phase-by-phase.
+func (s Span) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%06d %12s] %-12s %-12s fn=%-4d", s.Seq, simtime.Duration(s.Start), s.Guest, s.Object, s.Fn)
+	if s.Batch > 1 {
+		fmt.Fprintf(&b, " batch=%-3d", s.Batch)
+	}
+	fmt.Fprintf(&b, " total=%s", s.Total())
+	for p := Phase(0); p < NumPhases; p++ {
+		fmt.Fprintf(&b, " %s=%s", p, s.Phases[p])
+	}
+	if s.Err {
+		b.WriteString(" ERR")
+	}
+	return b.String()
+}

@@ -84,6 +84,9 @@ func (h *Histogram) RecordDuration(d simtime.Duration) { h.Record(int64(d)) }
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count }
 
+// Sum returns the exact sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum }
+
 // Mean returns the arithmetic mean, or 0 if empty.
 func (h *Histogram) Mean() float64 {
 	if h.count == 0 {
@@ -133,6 +136,44 @@ func (h *Histogram) Percentile(q float64) int64 {
 		}
 	}
 	return h.max
+}
+
+// Merge folds other's observations into h (bucket-wise, so the merged
+// percentiles match what recording every sample into h would have given).
+// A nil or empty other is a no-op. The per-guest and per-attachment views
+// of the observability layer are built by merging per-function histograms.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	for b, n := range other.buckets {
+		h.buckets[b] += n
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Clone returns an independent copy of the histogram.
+func (h *Histogram) Clone() *Histogram {
+	c := NewHistogram()
+	c.Merge(h)
+	return c
+}
+
+// Reset discards every observation, returning the histogram to its
+// freshly-constructed state (the backing bucket map is retained).
+func (h *Histogram) Reset() {
+	clear(h.buckets)
+	h.count = 0
+	h.sum = 0
+	h.min = math.MaxInt64
+	h.max = 0
 }
 
 // String summarises the distribution.

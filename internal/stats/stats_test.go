@@ -122,6 +122,78 @@ func TestBucketInverse(t *testing.T) {
 	}
 }
 
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for v := int64(1); v <= 100; v++ {
+		a.Record(v)
+	}
+	for v := int64(101); v <= 200; v++ {
+		b.Record(v)
+	}
+	a.Merge(b)
+	if a.Count() != 200 || a.Min() != 1 || a.Max() != 200 {
+		t.Fatalf("merged count/min/max: %d %d %d", a.Count(), a.Min(), a.Max())
+	}
+	if m := a.Mean(); m != 100.5 {
+		t.Fatalf("merged mean = %v", m)
+	}
+	// Merged percentiles must equal recording everything into one
+	// histogram directly.
+	direct := NewHistogram()
+	for v := int64(1); v <= 200; v++ {
+		direct.Record(v)
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if a.Percentile(q) != direct.Percentile(q) {
+			t.Fatalf("p%v: merged %d != direct %d", q*100, a.Percentile(q), direct.Percentile(q))
+		}
+	}
+	// b is untouched by the merge.
+	if b.Count() != 100 || b.Min() != 101 {
+		t.Fatalf("source mutated: %s", b)
+	}
+}
+
+func TestHistogramMergeEmptyAndNil(t *testing.T) {
+	h := NewHistogram()
+	h.Record(7)
+	h.Merge(nil)
+	h.Merge(NewHistogram())
+	if h.Count() != 1 || h.Min() != 7 || h.Max() != 7 {
+		t.Fatalf("no-op merges changed state: %s", h)
+	}
+	empty := NewHistogram()
+	empty.Merge(h)
+	if empty.Count() != 1 || empty.Min() != 7 {
+		t.Fatalf("merge into empty: %s", empty)
+	}
+}
+
+func TestHistogramClone(t *testing.T) {
+	h := NewHistogram()
+	h.Record(5)
+	c := h.Clone()
+	c.Record(100)
+	if h.Count() != 1 || c.Count() != 2 || h.Max() != 5 {
+		t.Fatalf("clone not independent: h=%s c=%s", h, c)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(0); v < 50; v++ {
+		h.Record(v)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Percentile(0.99) != 0 {
+		t.Fatalf("reset histogram not empty: %s", h)
+	}
+	h.Record(3)
+	if h.Count() != 1 || h.Min() != 3 || h.Max() != 3 {
+		t.Fatalf("record after reset: %s", h)
+	}
+}
+
 func TestThroughput(t *testing.T) {
 	if got := Throughput(1000, simtime.Second); got != 1000 {
 		t.Fatalf("1000 ops / 1s = %v", got)

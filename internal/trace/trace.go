@@ -9,6 +9,7 @@ package trace
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"github.com/elisa-go/elisa/internal/simtime"
 )
@@ -52,7 +53,14 @@ func (e Event) String() string {
 
 // Buffer is a bounded event ring. A nil *Buffer is valid and discards
 // everything, so emit sites never need nil checks.
+//
+// Buffer is safe for concurrent use. The simulated machine itself is
+// single-threaded per vCPU, but workload harnesses may drive several
+// guests from separate goroutines, and observability tools (elisa-top,
+// the metrics registry) read the buffer while workloads run — so Emit
+// and the readers are serialised by an internal mutex.
 type Buffer struct {
+	mu    sync.Mutex
 	cap   int
 	evs   []Event
 	next  uint64
@@ -72,6 +80,8 @@ func (b *Buffer) Emit(t simtime.Time, vm string, kind Kind, format string, args 
 	if b == nil {
 		return
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	e := Event{Seq: b.next, T: t, VM: vm, Kind: kind, Detail: fmt.Sprintf(format, args...)}
 	b.next++
 	if len(b.evs) < b.cap {
@@ -87,6 +97,8 @@ func (b *Buffer) Len() int {
 	if b == nil {
 		return 0
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	return len(b.evs)
 }
 
@@ -95,6 +107,8 @@ func (b *Buffer) Emitted() uint64 {
 	if b == nil {
 		return 0
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	return b.next
 }
 
@@ -103,6 +117,8 @@ func (b *Buffer) Events() []Event {
 	if b == nil {
 		return nil
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	out := make([]Event, 0, len(b.evs))
 	out = append(out, b.evs[b.start:]...)
 	out = append(out, b.evs[:b.start]...)

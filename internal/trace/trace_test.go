@@ -1,7 +1,9 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -65,6 +67,100 @@ func TestFilter(t *testing.T) {
 	}
 	if n := len(b.Filter(KindRevoke, "")); n != 0 {
 		t.Fatalf("absent kind: %d", n)
+	}
+}
+
+// After a wrap, the sequence numbers expose exactly how many events were
+// dropped: the oldest retained Seq equals Emitted() - Len(), and retained
+// Seqs are contiguous (no internal gaps).
+func TestSeqGapDetectionAfterWrap(t *testing.T) {
+	b := NewBuffer(8)
+	const emitted = 37
+	for i := 0; i < emitted; i++ {
+		b.Emit(0, "vm", KindHypercall, "ev%d", i)
+	}
+	if b.Emitted() != emitted || b.Len() != 8 {
+		t.Fatalf("emitted=%d len=%d", b.Emitted(), b.Len())
+	}
+	evs := b.Events()
+	dropped := b.Emitted() - uint64(b.Len())
+	if evs[0].Seq != dropped {
+		t.Fatalf("oldest retained Seq = %d, want %d (the gap is the drop count)", evs[0].Seq, dropped)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("internal gap between %d and %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	if evs[len(evs)-1].Seq != emitted-1 {
+		t.Fatalf("newest Seq = %d", evs[len(evs)-1].Seq)
+	}
+}
+
+// Filter with both a kind and a VM set must apply the conjunction, also
+// across a ring wrap.
+func TestFilterKindAndVMCombined(t *testing.T) {
+	b := NewBuffer(6)
+	// 12 events, alternating VM and kind; the ring retains the last 6.
+	for i := 0; i < 12; i++ {
+		vm := "a"
+		if i%2 == 1 {
+			vm = "b"
+		}
+		kind := KindAttach
+		if i%3 == 0 {
+			kind = KindKill
+		}
+		b.Emit(0, vm, kind, "ev%d", i)
+	}
+	got := b.Filter(KindKill, "b")
+	// Retained events are 6..11; kills are 6 and 9; of those, VM "b" is 9.
+	if len(got) != 1 || got[0].Seq != 9 {
+		t.Fatalf("combined filter after wrap: %+v", got)
+	}
+	for _, e := range b.Filter(KindAttach, "a") {
+		if e.Kind != KindAttach || e.VM != "a" {
+			t.Fatalf("conjunction violated: %+v", e)
+		}
+	}
+	if n := len(b.Filter(KindKill, "a")) + len(b.Filter(KindKill, "b")); n != len(b.Filter(KindKill, "")) {
+		t.Fatal("kind+vm partitions disagree with kind-only filter")
+	}
+}
+
+// Emit is documented as safe for concurrent use: workload harnesses may
+// drive several guests from separate goroutines while elisa-top reads the
+// buffer. Run with -race to enforce it.
+func TestConcurrentEmitAndRead(t *testing.T) {
+	b := NewBuffer(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			vm := fmt.Sprintf("vm-%d", g)
+			for i := 0; i < 250; i++ {
+				b.Emit(0, vm, KindHypercall, "ev%d", i)
+				if i%25 == 0 {
+					_ = b.Events()
+					_ = b.Filter(KindHypercall, vm)
+					_ = b.Len()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if b.Emitted() != 1000 || b.Len() != 64 {
+		t.Fatalf("emitted=%d len=%d", b.Emitted(), b.Len())
+	}
+	// Seqs must still be unique and dense 0..999 overall; retained ones
+	// are the largest 64 in some interleaving-dependent order-preserving
+	// sequence (oldest-first by Seq).
+	evs := b.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("retained events out of order: %d after %d", evs[i].Seq, evs[i-1].Seq)
+		}
 	}
 }
 

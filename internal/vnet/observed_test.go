@@ -1,0 +1,50 @@
+package vnet
+
+import (
+	"testing"
+
+	"github.com/elisa-go/elisa/internal/obs"
+	"github.com/elisa-go/elisa/internal/simtime"
+)
+
+// An observed ELISA backend records its descriptor-batch calls; the
+// other schemes leave the recorder untouched.
+func TestObservedBackendRecordsELISAOnly(t *testing.T) {
+	rec := obs.NewRecorder(obs.Config{SampleEvery: 1})
+	_, nic, b, err := BuildObservedBackend("elisa", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := nic.GenerateRX(32, 256, simtime.Time(1<<40)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.RecvBatch(32); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.SendBatch(8, 256); err != nil {
+		t.Fatal(err)
+	}
+	if rec.SpansSeen() == 0 {
+		t.Fatal("ELISA backend produced no spans")
+	}
+	if len(rec.Keys()) == 0 {
+		t.Fatal("ELISA backend produced no latency series")
+	}
+
+	for _, scheme := range []string{"ivshmem", "vmcall", "vhost-net", "sriov"} {
+		rec := obs.NewRecorder(obs.Config{SampleEvery: 1})
+		_, nic, b, err := BuildObservedBackend(scheme, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := nic.GenerateRX(8, 256, simtime.Time(1<<40)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.RecvBatch(8); err != nil {
+			t.Fatal(err)
+		}
+		if rec.SpansSeen() != 0 {
+			t.Fatalf("%s: recorder saw %d spans, want 0", scheme, rec.SpansSeen())
+		}
+	}
+}

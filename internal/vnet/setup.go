@@ -6,6 +6,7 @@ import (
 	"github.com/elisa-go/elisa/internal/core"
 	"github.com/elisa-go/elisa/internal/hv"
 	"github.com/elisa-go/elisa/internal/mem"
+	"github.com/elisa-go/elisa/internal/obs"
 )
 
 // Schemes lists the five backends of the paper's networking figures, in
@@ -22,6 +23,14 @@ const physBytes = 256 * 1024 * 1024
 // wired through the named scheme. Each call builds an isolated world, so
 // schemes never share hypercall tables or rings.
 func BuildBackend(scheme string) (*hv.Hypervisor, *NIC, Backend, error) {
+	return BuildObservedBackend(scheme, nil)
+}
+
+// BuildObservedBackend is BuildBackend with a flight recorder attached to
+// the ELISA manager, so the descriptor-batch calls of the elisa backend
+// populate latency histograms and sampled spans. The recorder is ignored
+// by the other schemes; nil behaves exactly like BuildBackend.
+func BuildObservedBackend(scheme string, rec *obs.Recorder) (*hv.Hypervisor, *NIC, Backend, error) {
 	h, err := hv.New(hv.Config{PhysBytes: physBytes})
 	if err != nil {
 		return nil, nil, nil, err
@@ -49,6 +58,7 @@ func BuildBackend(scheme string) (*hv.Hypervisor, *NIC, Backend, error) {
 		if merr != nil {
 			return nil, nil, nil, merr
 		}
+		mgr.SetRecorder(rec)
 		g, gerr := core.NewGuest(vm, mgr)
 		if gerr != nil {
 			return nil, nil, nil, gerr

@@ -1,0 +1,83 @@
+package elisa
+
+import (
+	"fmt"
+
+	"github.com/elisa-go/elisa/internal/core"
+	"github.com/elisa-go/elisa/internal/hv"
+	"github.com/elisa-go/elisa/internal/obs"
+)
+
+// newMetricsRegistry wires the machine's live state into a metrics
+// registry. Collectors are pulled at Gather time, so every export is a
+// fresh snapshot; nothing here samples or caches.
+func newMetricsRegistry(h *hv.Hypervisor, mgr *core.Manager, rec *obs.Recorder) *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.Register(collectMachine(h))
+	reg.Register(collectManager(mgr))
+	reg.Register(obs.CollectRecorder(rec))
+	return reg
+}
+
+// collectMachine exports per-vCPU event counters (exits, VMFUNCs, TLB
+// hits/misses) and host-level gauges.
+func collectMachine(h *hv.Hypervisor) obs.Collector {
+	return func() []obs.Metric {
+		exits := obs.Metric{Name: "elisa_vcpu_exits_total",
+			Help: "VM exits per vCPU (the slow path ELISA avoids).", Type: obs.TypeCounter}
+		hypercalls := obs.Metric{Name: "elisa_vcpu_hypercalls_total",
+			Help: "VMCALL hypercalls per vCPU.", Type: obs.TypeCounter}
+		vmfuncs := obs.Metric{Name: "elisa_vcpu_vmfuncs_total",
+			Help: "Exit-less VMFUNC EPTP switches per vCPU.", Type: obs.TypeCounter}
+		tlbHits := obs.Metric{Name: "elisa_tlb_hits_total",
+			Help: "Tagged-TLB hits per vCPU.", Type: obs.TypeCounter}
+		tlbMisses := obs.Metric{Name: "elisa_tlb_misses_total",
+			Help: "Tagged-TLB misses (EPT walks) per vCPU.", Type: obs.TypeCounter}
+		for _, vm := range h.VMs() {
+			st := vm.VCPU().Stats()
+			labels := map[string]string{"vm": vm.Name()}
+			exits.Samples = append(exits.Samples, obs.Sample{Labels: labels, Value: float64(st.Exits)})
+			hypercalls.Samples = append(hypercalls.Samples, obs.Sample{Labels: labels, Value: float64(st.Hypercalls)})
+			vmfuncs.Samples = append(vmfuncs.Samples, obs.Sample{Labels: labels, Value: float64(st.VMFuncs)})
+			tlbHits.Samples = append(tlbHits.Samples, obs.Sample{Labels: labels, Value: float64(st.TLBHits)})
+			tlbMisses.Samples = append(tlbMisses.Samples, obs.Sample{Labels: labels, Value: float64(st.TLBMisses)})
+		}
+		ms := h.MachineStats()
+		return []obs.Metric{
+			exits, hypercalls, vmfuncs, tlbHits, tlbMisses,
+			{Name: "elisa_vms", Help: "Live VMs (manager included).", Type: obs.TypeGauge,
+				Samples: []obs.Sample{{Value: float64(ms.VMs)}}},
+			{Name: "elisa_vms_killed_total", Help: "VMs killed for protocol violations.", Type: obs.TypeCounter,
+				Samples: []obs.Sample{{Value: float64(ms.Killed)}}},
+			{Name: "elisa_trace_events_total", Help: "Slow-path trace events ever emitted.", Type: obs.TypeCounter,
+				Samples: []obs.Sample{{Value: float64(ms.TraceEmitted)}}},
+		}
+	}
+}
+
+// collectManager exports the manager's per-attachment accounting.
+func collectManager(mgr *core.Manager) obs.Collector {
+	return func() []obs.Metric {
+		calls := obs.Metric{Name: "elisa_attachment_calls_total",
+			Help: "Manager-function invocations per attachment.", Type: obs.TypeCounter}
+		fnErrors := obs.Metric{Name: "elisa_attachment_fn_errors_total",
+			Help: "Manager-function errors per attachment.", Type: obs.TypeCounter}
+		live := 0
+		for _, st := range mgr.Stats() {
+			if !st.Revoked {
+				live++
+			}
+			labels := map[string]string{"guest": st.Guest, "object": st.Object,
+				"slot": fmt.Sprintf("%d", st.SubIndex)}
+			calls.Samples = append(calls.Samples, obs.Sample{Labels: labels, Value: float64(st.Calls)})
+			fnErrors.Samples = append(fnErrors.Samples, obs.Sample{Labels: labels, Value: float64(st.FnErrors)})
+		}
+		return []obs.Metric{
+			calls, fnErrors,
+			{Name: "elisa_attachments", Help: "Live (non-revoked) attachments.", Type: obs.TypeGauge,
+				Samples: []obs.Sample{{Value: float64(live)}}},
+			{Name: "elisa_objects", Help: "Registered shared objects.", Type: obs.TypeGauge,
+				Samples: []obs.Sample{{Value: float64(len(mgr.ObjectNames()))}}},
+		}
+	}
+}
