@@ -168,6 +168,12 @@ func BenchmarkExtHugepages(b *testing.B) {
 	runExperiment(b, "ext_hugepages")
 }
 
+// BenchmarkExtFleetScaling reproduces the fleet-scaling extension
+// (goodput/p99 vs tenants under slot oversubscription).
+func BenchmarkExtFleetScaling(b *testing.B) {
+	runExperiment(b, "ext_fleet_scaling")
+}
+
 func runExperiment(b *testing.B, id string) {
 	e, ok := experiments.ByID(id)
 	if !ok {

@@ -20,15 +20,16 @@ import (
 func main() {
 	guests := flag.Int("guests", 2, "number of tenant guests")
 	objects := flag.Int("objects", 2, "number of shared objects")
+	slotBudget := flag.Int("slot-budget", 0, "physical EPTP slots per guest (0 = whole list); below -objects, the dump shows virtual-only slots")
 	traceDump := flag.Bool("trace", false, "also dump the slow-path trace buffer and the sampled fast-path span ring")
 	flag.Parse()
-	if err := run(*guests, *objects, *traceDump); err != nil {
+	if err := run(*guests, *objects, *slotBudget, *traceDump); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(nGuests, nObjects int, traceDump bool) error {
-	cfg := elisa.Config{}
+func run(nGuests, nObjects, slotBudget int, traceDump bool) error {
+	cfg := elisa.Config{SlotBudget: slotBudget}
 	if traceDump {
 		// The forensic view: retain slow-path events and record every
 		// fast-path span (no sampling) so the dump below is complete.
@@ -76,6 +77,26 @@ func run(nGuests, nObjects int, traceDump bool) error {
 			return err
 		}
 		fmt.Print(desc)
+
+		// The virtual slot table: which stable vslot maps to which
+		// physical EPTP-list slot right now (LRU order via last-use).
+		bindings, err := mgr.SlotTable(g.VM())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  slot table (%d entries):\n", len(bindings))
+		for _, b := range bindings {
+			phys := fmt.Sprintf("phys %-3d", b.Phys)
+			if b.Phys < 0 {
+				phys = "unbacked"
+			}
+			state := ""
+			if b.Revoked {
+				state = " (revoked)"
+			}
+			fmt.Printf("    vslot %-3d -> %-8s %-12q last-use=%d%s\n",
+				b.VSlot, phys, b.Object, b.LastUse, state)
+		}
 
 		gms, err := mgr.GateContextMappings(g.VM())
 		if err != nil {

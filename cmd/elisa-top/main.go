@@ -9,6 +9,11 @@
 // error counts from the manager's accounting, and TLB rates from the
 // per-vCPU counters; everything on screen is also exportable via
 // -prom/-json at exit.
+//
+// With -objects N > -slot-budget B, each tenant's working set
+// oversubscribes its physical EPTP slots and the SLOTS (backed/budget)
+// and REMAP/S (HCSlotFault re-binds per second) columns show the
+// virtualisation layer working.
 package main
 
 import (
@@ -40,6 +45,8 @@ const (
 
 func main() {
 	guests := flag.Int("guests", 4, "number of tenant guests")
+	objects := flag.Int("objects", 1, "objects per tenant (working-set size)")
+	slotBudget := flag.Int("slot-budget", 0, "physical EPTP slots per guest (0 = whole list)")
 	frames := flag.Int("frames", 5, "number of table refreshes")
 	interval := flag.Int("interval", 50, "simulated milliseconds per frame")
 	sample := flag.Int("sample", 1, "span sampling: keep 1 in N spans")
@@ -51,7 +58,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "dump JSON metrics at exit")
 	spans := flag.Int("spans", 0, "print the last N sampled call spans at exit")
 	flag.Parse()
-	if err := run(*guests, *frames, *interval, *sample, *skew, *readRatio, *errEvery, *ansi, *prom, *jsonOut, *spans); err != nil {
+	if err := run(*guests, *objects, *slotBudget, *frames, *interval, *sample, *skew, *readRatio, *errEvery, *ansi, *prom, *jsonOut, *spans); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -59,18 +66,24 @@ func main() {
 // tenant is one guest driving load.
 type tenant struct {
 	g     *elisa.GuestVM
-	h     *elisa.Handle
+	hs    []*elisa.Handle // one per object, cycled round-robin
+	rr    int
 	keys  workload.KeyChooser
 	mix   *workload.Mix
 	ops   int
 	start simtime.Time // frame start on this guest's clock
 }
 
-func run(nGuests, frames, intervalMs, sample int, skew, readRatio float64, errEvery int, ansi, prom, jsonOut bool, nSpans int) error {
+func run(nGuests, nObjects, slotBudget, frames, intervalMs, sample int, skew, readRatio float64, errEvery int, ansi, prom, jsonOut bool, nSpans int) error {
 	if nGuests <= 0 {
 		return fmt.Errorf("need at least one guest")
 	}
+	if nObjects <= 0 {
+		return fmt.Errorf("need at least one object per tenant")
+	}
 	sys, err := elisa.NewSystem(elisa.Config{
+		PhysBytes:   256*1024*1024 + nGuests*nObjects*64*1024,
+		SlotBudget:  slotBudget,
 		TraceEvents: 1024,
 		Observe:     &elisa.ObserveConfig{SampleEvery: sample},
 	})
@@ -78,8 +91,15 @@ func run(nGuests, frames, intervalMs, sample int, skew, readRatio float64, errEv
 		return err
 	}
 	mgr := sys.Manager()
-	if _, err := mgr.CreateObject(objName, objPages*elisa.PageSize); err != nil {
-		return err
+	objNames := make([]string, nObjects)
+	for i := range objNames {
+		objNames[i] = objName
+		if nObjects > 1 {
+			objNames[i] = fmt.Sprintf("%s-%02d", objName, i)
+		}
+		if _, err := mgr.CreateObject(objNames[i], objPages*elisa.PageSize); err != nil {
+			return err
+		}
 	}
 	// GET: object -> exchange at the keyed offset; PUT: exchange -> object.
 	if err := mgr.RegisterFunc(fnGet, func(c *elisa.CallContext) (uint64, error) {
@@ -100,9 +120,13 @@ func run(nGuests, frames, intervalMs, sample int, skew, readRatio float64, errEv
 		if err != nil {
 			return err
 		}
-		h, err := g.Attach(objName)
-		if err != nil {
-			return err
+		hs := make([]*elisa.Handle, len(objNames))
+		for j, name := range objNames {
+			h, err := g.Attach(name)
+			if err != nil {
+				return err
+			}
+			hs[j] = h
 		}
 		keys, err := workload.NewZipf(int64(1000+i), nKeys, skew)
 		if err != nil {
@@ -112,7 +136,7 @@ func run(nGuests, frames, intervalMs, sample int, skew, readRatio float64, errEv
 		if err != nil {
 			return err
 		}
-		tenants[i] = &tenant{g: g, h: h, keys: keys, mix: mix}
+		tenants[i] = &tenant{g: g, hs: hs, keys: keys, mix: mix}
 	}
 
 	rec := sys.Recorder()
@@ -121,6 +145,7 @@ func run(nGuests, frames, intervalMs, sample int, skew, readRatio float64, errEv
 	prevErrs := make(map[string]uint64)
 	prevHits := make(map[string]uint64)
 	prevMisses := make(map[string]uint64)
+	prevFaults := make(map[string]uint64)
 
 	for frame := 1; frame <= frames; frame++ {
 		for _, tn := range tenants {
@@ -136,7 +161,9 @@ func run(nGuests, frames, intervalMs, sample int, skew, readRatio float64, errEv
 				if errEvery > 0 && tn.ops%errEvery == 0 {
 					fn = fnBogus
 				}
-				if _, err := tn.h.Call(v, fn, uint64(off)); err != nil && fn != fnBogus {
+				h := tn.hs[tn.rr]
+				tn.rr = (tn.rr + 1) % len(tn.hs)
+				if _, err := h.Call(v, fn, uint64(off)); err != nil && fn != fnBogus {
 					return fmt.Errorf("%s: call: %w", tn.g.Name(), err)
 				}
 			}
@@ -144,7 +171,7 @@ func run(nGuests, frames, intervalMs, sample int, skew, readRatio float64, errEv
 		if ansi {
 			fmt.Print("\033[H\033[2J")
 		}
-		renderFrame(os.Stdout, sys, tenants, frame, prevCalls, prevErrs, prevHits, prevMisses)
+		renderFrame(os.Stdout, sys, tenants, frame, prevCalls, prevErrs, prevHits, prevMisses, prevFaults)
 	}
 
 	if nSpans > 0 {
@@ -173,40 +200,50 @@ func run(nGuests, frames, intervalMs, sample int, skew, readRatio float64, errEv
 	return nil
 }
 
-// renderFrame prints one refresh of the per-attachment table. The delta
-// maps carry per-guest counters from the previous frame so rates are
+// renderFrame prints one refresh of the per-tenant table. The delta maps
+// carry per-guest counters from the previous frame so rates are
 // per-interval, not cumulative.
 func renderFrame(out *os.File, sys *elisa.System, tenants []*tenant, frame int,
-	prevCalls, prevErrs, prevHits, prevMisses map[string]uint64) {
+	prevCalls, prevErrs, prevHits, prevMisses, prevFaults map[string]uint64) {
 	rec := sys.Recorder()
 	byGuest := make(map[string]struct{ calls, errs uint64 })
 	for _, st := range sys.Manager().Stats() {
-		if st.Object == objName {
-			byGuest[st.Guest] = struct{ calls, errs uint64 }{st.Calls, st.FnErrors}
-		}
+		acct := byGuest[st.Guest]
+		acct.calls += st.Calls
+		acct.errs += st.FnErrors
+		byGuest[st.Guest] = acct
+	}
+	slots := make(map[string]elisa.SlotStats)
+	for _, ss := range sys.SlotStats() {
+		slots[ss.Guest] = ss
 	}
 	tb := stats.NewTable(fmt.Sprintf("elisa-top frame %d", frame),
-		"GUEST", "OBJECT", "CALLS", "CALLS/S", "ERRS", "P50[ns]", "P99[ns]", "TLB-MISS%")
+		"GUEST", "OBJS", "CALLS", "CALLS/S", "ERRS", "P50[ns]", "P99[ns]", "SLOTS", "REMAP/S", "TLB-MISS%")
 	for _, tn := range tenants {
 		name := tn.g.Name()
 		acct := byGuest[name]
 		st := tn.g.Stats()
+		ss := slots[name]
 		dCalls := acct.calls - prevCalls[name]
 		dErrs := acct.errs - prevErrs[name]
 		dHits := st.TLBHits - prevHits[name]
 		dMisses := st.TLBMisses - prevMisses[name]
+		dFaults := ss.Faults - prevFaults[name]
 		elapsed := tn.g.VCPU().Clock().Elapsed(tn.start)
-		h := rec.AttachmentHistogram(name, objName)
+		h := rec.GuestHistogram(name)
 		missPct := 0.0
 		if dHits+dMisses > 0 {
 			missPct = 100 * float64(dMisses) / float64(dHits+dMisses)
 		}
-		tb.AddRow(name, objName, dCalls, stats.Throughput(int64(dCalls), elapsed),
-			dErrs, h.Percentile(0.50), h.Percentile(0.99), missPct)
+		tb.AddRow(name, len(tn.hs), dCalls, stats.Throughput(int64(dCalls), elapsed),
+			dErrs, h.Percentile(0.50), h.Percentile(0.99),
+			fmt.Sprintf("%d/%d", ss.Backed, ss.Budget),
+			stats.Throughput(int64(dFaults), elapsed), missPct)
 		prevCalls[name], prevErrs[name] = acct.calls, acct.errs
 		prevHits[name], prevMisses[name] = st.TLBHits, st.TLBMisses
+		prevFaults[name] = ss.Faults
 	}
-	tb.AddNote("latency percentiles are cumulative over the run; rates are per-frame")
+	tb.AddNote("latency percentiles are cumulative over the run; rates are per-frame; SLOTS is backed/budget physical EPTP slots, REMAP/S the HCSlotFault re-bind rate")
 	fmt.Fprint(out, tb.String())
 	fmt.Fprintln(out)
 }

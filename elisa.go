@@ -35,6 +35,7 @@ import (
 	"github.com/elisa-go/elisa/internal/core"
 	"github.com/elisa-go/elisa/internal/cpu"
 	"github.com/elisa-go/elisa/internal/ept"
+	"github.com/elisa-go/elisa/internal/fleet"
 	"github.com/elisa-go/elisa/internal/hv"
 	"github.com/elisa-go/elisa/internal/mem"
 	"github.com/elisa-go/elisa/internal/obs"
@@ -83,6 +84,20 @@ type (
 	Registry = obs.Registry
 	// Metric is one exported metric family.
 	Metric = obs.Metric
+	// Fleet is a deterministic multi-tenant scheduler over this machine
+	// (System.NewFleet).
+	Fleet = fleet.Scheduler
+	// FleetConfig configures a Fleet.
+	FleetConfig = fleet.Config
+	// TenantSpec describes one fleet tenant to admit.
+	TenantSpec = fleet.TenantSpec
+	// FleetReport is a fleet run's per-tenant result set.
+	FleetReport = fleet.Report
+	// TenantReport is one tenant's accounting within a FleetReport.
+	TenantReport = fleet.TenantReport
+	// SlotStats is a guest's slot-virtualisation accounting
+	// (Manager.SlotStats).
+	SlotStats = core.SlotStats
 )
 
 // Permission bits for grants.
@@ -118,6 +133,11 @@ type Config struct {
 	// charges it, so latencies are identical with and without it. Nil
 	// leaves observability off; the fast path then pays only a nil check.
 	Observe *ObserveConfig
+	// SlotBudget caps the physical EPTP-list slots each guest may occupy
+	// at once (0 = the whole list minus the default and gate slots).
+	// Attachments beyond the budget still succeed virtualised: their
+	// first call re-negotiates a physical slot over one HCSlotFault exit.
+	SlotBudget int
 }
 
 // System is one simulated machine with ELISA installed: a hypervisor, the
@@ -138,7 +158,7 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	mgr, err := core.NewManager(h, core.ManagerConfig{RAMBytes: cfg.ManagerRAM})
+	mgr, err := core.NewManager(h, core.ManagerConfig{RAMBytes: cfg.ManagerRAM, SlotBudget: cfg.SlotBudget})
 	if err != nil {
 		return nil, err
 	}
@@ -175,6 +195,24 @@ func (s *System) Recorder() *Recorder { return s.rec }
 // Spans returns the retained sampled call spans, oldest first (nil unless
 // Config.Observe was set).
 func (s *System) Spans() []Span { return s.rec.Spans() }
+
+// NewFleet builds a deterministic multi-tenant scheduler over this
+// machine and wires its per-tenant goodput/drop/latency gauges into
+// System.Metrics. Tenants are admitted with Fleet.Admit and driven with
+// Fleet.Run; every op is a real exit-less call, so the slot-
+// virtualisation slow path shows up in the fleet's latency histograms.
+func (s *System) NewFleet(cfg FleetConfig) (*Fleet, error) {
+	f, err := fleet.New(s.hv, s.mgr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.Register(collectFleet(f))
+	return f, nil
+}
+
+// SlotStats returns the per-guest slot-virtualisation accounting (budget,
+// backed, faults, evictions), ordered by guest name.
+func (s *System) SlotStats() []SlotStats { return s.mgr.SlotStats() }
 
 // GuestVM is a guest with the ELISA library initialised.
 type GuestVM struct {

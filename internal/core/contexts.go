@@ -63,7 +63,10 @@ func (m *Manager) ensureGuest(guest *hv.VM) (*guestState, error) {
 		gateCtx:     gateCtx,
 		gateGPA:     gateGPA,
 		stack:       stack,
-		nextIdx:     firstSubIdx,
+		budget:      m.slotBudget,
+		nextVSlot:   firstSubIdx,
+		vslots:      make(map[int]*Attachment),
+		physAtt:     make(map[int]*Attachment),
 		attachments: make(map[string]*Attachment),
 		granted:     make(map[int]bool),
 	}
@@ -93,9 +96,6 @@ func (m *Manager) attach(guest *hv.VM, objName string) (*Attachment, error) {
 	}
 	if a, dup := gs.attachments[objName]; dup && !a.revoked {
 		return nil, fmt.Errorf("core: guest %q already attached to %q", guest.Name(), objName)
-	}
-	if gs.nextIdx >= ept.ListEntries {
-		return nil, fmt.Errorf("core: guest %q has exhausted its EPTP list", guest.Name())
 	}
 
 	// Exchange buffer: guest-visible staging area, also present in the
@@ -136,26 +136,96 @@ func (m *Manager) attach(guest *hv.VM, objName string) (*Attachment, error) {
 		}
 	}
 
-	idx := gs.nextIdx
-	gs.nextIdx++
-	if err := gs.list.Set(idx, sub.Pointer()); err != nil {
-		return nil, err
-	}
+	vslot := gs.nextVSlot
+	gs.nextVSlot++
 	a := &Attachment{
 		guest:       guest,
 		obj:         obj,
 		subCtx:      sub,
-		subIdx:      idx,
+		vslot:       vslot,
+		phys:        physNone,
 		perm:        perm,
 		exchange:    exchange,
 		exchangeGPA: exchangeGPA,
 	}
 	gs.attachments[objName] = a
-	gs.granted[idx] = true
+	gs.vslots[vslot] = a
+	// Back the virtual slot eagerly while the guest is under its slot
+	// budget and the list has room: the first call is then already hot.
+	// Past the budget the attachment stays virtual — the first call takes
+	// a slot fault and the LRU binding makes way.
+	if len(gs.physAtt) < gs.budget {
+		if idx, ok := gs.list.FindFree(firstSubIdx); ok {
+			if err := m.bindLocked(gs, a, idx); err != nil {
+				return nil, err
+			}
+		}
+	}
 	m.hv.Trace().Emit(guest.VCPU().Clock().Now(), guest.Name(), trace.KindAttach,
-		"object %q slot %d perm %v", objName, idx, perm)
+		"object %q vslot %d phys %d perm %v", objName, vslot, a.phys, perm)
 	// Manager-side construction work: proportional to pages mapped.
 	pages := 3 + obj.region.Pages() + exchange.Pages()
 	m.vm.VCPU().Charge(simtime.Duration(pages) * m.hv.Cost().MemAccess * 4)
 	return a, nil
+}
+
+// bindLocked installs an attachment's sub context into physical slot idx
+// and grants it to the gate.
+func (m *Manager) bindLocked(gs *guestState, a *Attachment, idx int) error {
+	if err := gs.list.Set(idx, a.subCtx.Pointer()); err != nil {
+		return err
+	}
+	a.phys = idx
+	m.lruTick++
+	a.lastUse = m.lruTick
+	gs.physAtt[idx] = a
+	gs.granted[idx] = true
+	return nil
+}
+
+// evictLocked unbinds the guest's least-recently-used backed attachment to
+// free one physical slot. Only the list entry and grant go away; the sub
+// context (and its TLB entries, which are tagged by EPT pointer, not slot)
+// survives, so a later re-bind is just a list write.
+func (m *Manager) evictLocked(gs *guestState) error {
+	var victim *Attachment
+	for _, a := range gs.physAtt {
+		if victim == nil || a.lastUse < victim.lastUse {
+			victim = a
+		}
+	}
+	if victim == nil {
+		return fmt.Errorf("core: guest %q has no backed slot to evict", gs.vm.Name())
+	}
+	phys := victim.phys
+	if err := m.unbindLocked(gs, victim); err != nil {
+		return err
+	}
+	gs.evictions++
+	m.hv.Trace().Emit(gs.vm.VCPU().Clock().Now(), gs.vm.Name(), trace.KindSlotEvict,
+		"object %q vslot %d phys %d", victim.obj.name, victim.vslot, phys)
+	return nil
+}
+
+// faultBindLocked backs a live unbacked attachment with a physical slot,
+// evicting the guest's LRU binding when the budget or the list is
+// exhausted. This is the slow half of the slot-fault path.
+func (m *Manager) faultBindLocked(gs *guestState, a *Attachment) error {
+	if len(gs.physAtt) >= gs.budget {
+		if err := m.evictLocked(gs); err != nil {
+			return err
+		}
+	}
+	idx, ok := gs.list.FindFree(firstSubIdx)
+	if !ok {
+		// Budget allows more but the list itself is full (budget close to
+		// the hardware limit): evict to make physical room.
+		if err := m.evictLocked(gs); err != nil {
+			return err
+		}
+		if idx, ok = gs.list.FindFree(firstSubIdx); !ok {
+			return fmt.Errorf("core: guest %q EPTP list full after eviction", gs.vm.Name())
+		}
+	}
+	return m.bindLocked(gs, a, idx)
 }

@@ -69,8 +69,54 @@ func (h *Handle) ExchangeGPA() mem.GPA { return h.exchangeGPA }
 // ExchangeSize returns the exchange buffer size in bytes.
 func (h *Handle) ExchangeSize() int { return h.exchangeSize }
 
-// SubIndex returns the EPTP-list slot this handle switches to.
+// SubIndex returns the virtual slot ID this handle names. The gate's slot
+// table maps it to whichever physical EPTP-list slot currently backs the
+// attachment; the ID itself is stable for the attachment's lifetime and
+// never reused within a guest.
 func (h *Handle) SubIndex() int { return h.subIdx }
+
+// resolveSlot is the gate code's slot-table lookup for (guest, vslot),
+// performed before the inbound crossing. Three outcomes:
+//
+//   - hit: the virtual slot is live and backed; returns its physical slot
+//     and touches the LRU stamp. Free — the lookup is part of GateCode.
+//   - miss: live but unbacked; the caller must take the HCSlotFault slow
+//     path to get it backed.
+//   - stale "hit": the slot was revoked/detached or never existed. The
+//     walk proceeds and the gate's grant check refuses it — the same
+//     clean, kill-free refusal stale handles always got.
+func (m *Manager) resolveSlot(vmID, vslot int) (phys int, hit bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	gs, ok := m.guests[vmID]
+	if !ok {
+		return IdxDefault, true // stale: no ELISA state; gate refuses
+	}
+	a := gs.vslots[vslot]
+	if a == nil || a.revoked {
+		return IdxDefault, true // stale: gate refuses at the grant check
+	}
+	if a.phys == physNone {
+		return 0, false // live but unbacked: slot fault required
+	}
+	m.lruTick++
+	a.lastUse = m.lruTick
+	return a.phys, true
+}
+
+// ensureBacked resolves the handle's virtual slot to a physical slot,
+// taking the HCSlotFault slow path on a miss. It runs as guest code on v.
+func (h *Handle) ensureBacked(v *cpu.VCPU) (int, error) {
+	phys, hit := h.g.mgr.resolveSlot(h.g.vm.ID(), h.subIdx)
+	if hit {
+		return phys, nil
+	}
+	r, err := v.VMCall(HCSlotFault, uint64(h.subIdx))
+	if err != nil {
+		return 0, fmt.Errorf("core: slot fault on %q vslot %d: %w", h.objName, h.subIdx, err)
+	}
+	return int(r), nil
+}
 
 // Attach negotiates access to a named shared object. This is the slow
 // path: a hypercall round trip plus manager-side context construction.
@@ -182,6 +228,14 @@ func (h *Handle) Call(v *cpu.VCPU, fnID uint64, args ...uint64) (uint64, error) 
 		exchp = &exchange
 	}
 
+	// Slot-table lookup: hot attachments resolve for free; a cold one
+	// takes the HCSlotFault exit here, before any context switch, and the
+	// crossing below then runs exactly like the hot case.
+	phys, err := h.ensureBacked(v)
+	if err != nil {
+		return 0, err
+	}
+
 	// --- inbound: default -> gate -> sub ---
 	if err := v.FetchExec(h.gateGVA); err != nil {
 		return 0, err
@@ -196,10 +250,11 @@ func (h *Handle) Call(v *cpu.VCPU, fnID uint64, args ...uint64) (uint64, error) 
 	if err := v.FetchExec(h.gateGVA); err != nil {
 		return 0, err
 	}
-	// The gate consults its grant table (in the gate-context stack page)
-	// before switching further; a slot the manager never granted to this
-	// guest is refused right here, without reaching any sub context.
-	if !mgr.gateAllows(h.g.vm.ID(), h.subIdx) {
+	// The gate validates the whole (vslot -> phys) binding against its
+	// grant table (in the gate-context stack page) before switching
+	// further; a stale or never-granted slot is refused right here,
+	// without reaching any sub context.
+	if !mgr.gateAllowsBinding(h.g.vm.ID(), h.subIdx, phys) {
 		if err := v.VMFunc(cpu.VMFuncLeafEPTPSwitch, IdxDefault); err != nil {
 			return 0, err
 		}
@@ -209,7 +264,7 @@ func (h *Handle) Call(v *cpu.VCPU, fnID uint64, args ...uint64) (uint64, error) 
 		}
 		return 0, fmt.Errorf("core: gate refused slot %d for guest %q", h.subIdx, h.g.vm.Name())
 	}
-	if err := v.VMFunc(cpu.VMFuncLeafEPTPSwitch, h.subIdx); err != nil {
+	if err := v.VMFunc(cpu.VMFuncLeafEPTPSwitch, phys); err != nil {
 		return 0, err
 	}
 	if rec != nil {
@@ -291,30 +346,44 @@ func (h *Handle) ExchangeRead(v *cpu.VCPU, off int, p []byte) error {
 	return v.ReadGPA(h.exchangeGPA+mem.GPA(off), p)
 }
 
-// gateAllows is the gate code's grant-table lookup (its cost is part of
-// GateCode).
-func (m *Manager) gateAllows(vmID, idx int) bool {
+// gateAllowsBinding is the gate code's grant-table lookup (its cost is
+// part of GateCode). It validates the full binding — the virtual slot is
+// live, currently backed by exactly this physical slot, and the slot is
+// granted — so a stale handle whose old physical slot has been recycled to
+// another attachment can never enter the wrong sub context.
+func (m *Manager) gateAllowsBinding(vmID, vslot, phys int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	gs, ok := m.guests[vmID]
-	return ok && gs.granted[idx]
+	if !ok {
+		return false
+	}
+	a := gs.vslots[vslot]
+	return a != nil && !a.revoked && phys >= firstSubIdx &&
+		a.phys == phys && gs.physAtt[phys] == a && gs.granted[phys]
 }
 
 // invoke dispatches a manager function while the vCPU is in the sub
 // context. The instruction fetch on the manager code page is the model's
 // proof that the code is reachable (and only reachable) there. exchange,
 // when non-nil, receives the time the function spends in exchange-buffer
-// helpers (flight-recorder phase accounting).
+// helpers (flight-recorder phase accounting). The manager lock is held
+// only for the dispatch lookups, never while the function body runs.
 func (m *Manager) invoke(v *cpu.VCPU, h *Handle, fnID uint64, args []uint64, exchange *simtime.Duration) (uint64, error) {
-	gs := m.guests[h.g.vm.ID()]
-	a := gs.attachments[h.objName]
 	if err := v.FetchExec(mem.GVA(MgrCodeGPA)); err != nil {
 		return 0, err
 	}
-	fn, ok := m.funcs[fnID]
-	if !ok {
-		err := fmt.Errorf("core: unknown manager function %d", fnID)
-		a.recordCall(err)
-		return 0, err
+	m.mu.Lock()
+	gs := m.guests[h.g.vm.ID()]
+	var a *Attachment
+	if gs != nil {
+		a = gs.attachments[h.objName]
 	}
+	if a == nil || a.revoked {
+		m.mu.Unlock()
+		return 0, fmt.Errorf("core: attachment %q/%q vanished mid-call", h.g.vm.Name(), h.objName)
+	}
+	fn, ok := m.funcs[fnID]
 	ctx := &CallContext{
 		VCPU:         v,
 		Object:       a.obj.gpa,
@@ -323,6 +392,12 @@ func (m *Manager) invoke(v *cpu.VCPU, h *Handle, fnID uint64, args []uint64, exc
 		ExchangeSize: a.exchange.Size(),
 		GuestID:      h.g.vm.ID(),
 		exchTime:     exchange,
+	}
+	m.mu.Unlock()
+	if !ok {
+		err := fmt.Errorf("core: unknown manager function %d", fnID)
+		a.recordCall(err)
+		return 0, err
 	}
 	copy(ctx.Args[:], args)
 	ret, err := fn(ctx)
@@ -371,6 +446,13 @@ func (h *Handle) CallMulti(v *cpu.VCPU, reqs []Req) error {
 		exchp = &exchange
 	}
 
+	// Slot-table lookup (identical to Call): cold batches pay one slot
+	// fault up front, then the whole batch runs hot.
+	phys, err := h.ensureBacked(v)
+	if err != nil {
+		return err
+	}
+
 	// Inbound crossing (identical to Call).
 	if err := v.FetchExec(h.gateGVA); err != nil {
 		return err
@@ -385,7 +467,7 @@ func (h *Handle) CallMulti(v *cpu.VCPU, reqs []Req) error {
 	if err := v.FetchExec(h.gateGVA); err != nil {
 		return err
 	}
-	if !mgr.gateAllows(h.g.vm.ID(), h.subIdx) {
+	if !mgr.gateAllowsBinding(h.g.vm.ID(), h.subIdx, phys) {
 		if err := v.VMFunc(cpu.VMFuncLeafEPTPSwitch, IdxDefault); err != nil {
 			return err
 		}
@@ -395,7 +477,7 @@ func (h *Handle) CallMulti(v *cpu.VCPU, reqs []Req) error {
 		}
 		return fmt.Errorf("core: gate refused slot %d for guest %q", h.subIdx, h.g.vm.Name())
 	}
-	if err := v.VMFunc(cpu.VMFuncLeafEPTPSwitch, h.subIdx); err != nil {
+	if err := v.VMFunc(cpu.VMFuncLeafEPTPSwitch, phys); err != nil {
 		return err
 	}
 	if rec != nil {

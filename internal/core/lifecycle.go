@@ -16,6 +16,8 @@ import (
 // it returns, the guest has no ELISA state and the frames are back in the
 // allocator.
 func (m *Manager) CleanupGuest(guest *hv.VM) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	gs, ok := m.guests[guest.ID()]
 	if !ok {
 		return fmt.Errorf("core: guest %q has no ELISA state", guest.Name())
@@ -24,7 +26,7 @@ func (m *Manager) CleanupGuest(guest *hv.VM) error {
 	release := func(a *Attachment) error {
 		if !a.revoked {
 			a.revoked = true
-			if err := gs.list.Revoke(a.subIdx); err != nil {
+			if err := m.unbindLocked(gs, a); err != nil {
 				return err
 			}
 			tlb.InvalidateContext(a.subCtx.Pointer())
@@ -59,12 +61,15 @@ func (m *Manager) CleanupGuest(guest *hv.VM) error {
 	return nil
 }
 
-// Fsck audits the manager's bookkeeping against the machine state: every
-// granted EPTP slot must hold exactly its sub context's pointer, the gate
-// slot must hold the gate context, and nothing else may be populated. It
-// is cheap and safe to call at any time; tests run it after every
-// mutation sequence.
+// Fsck audits the manager's bookkeeping against the machine state: the
+// gate and default slots must hold their contexts, every backed attachment
+// must occupy exactly the physical slot its slot-table entry claims (with
+// a matching grant and list entry), unbacked attachments must occupy
+// nothing, and every other slot of the list must be empty. It is safe to
+// call at any time; tests run it after every mutation sequence.
 func (m *Manager) Fsck() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for id, gs := range m.guests {
 		gate, err := gs.list.Get(IdxGate)
 		if err != nil {
@@ -80,22 +85,37 @@ func (m *Manager) Fsck() error {
 		if def != gs.vm.DefaultEPT().Pointer() {
 			return fmt.Errorf("core: fsck: guest %d default slot %v", id, def)
 		}
-		// Collect what the attachments say should be installed.
+		// Collect what the slot table says should be installed.
+		backed := 0
 		want := map[int]ept.Pointer{}
 		for name, a := range gs.attachments {
 			if a.revoked {
 				continue
 			}
-			if !gs.granted[a.subIdx] {
-				return fmt.Errorf("core: fsck: guest %d attachment %q slot %d not granted", id, name, a.subIdx)
+			if a.phys == physNone {
+				continue // virtual-only: must own no slot (checked by the scan)
 			}
-			want[a.subIdx] = a.subCtx.Pointer()
+			backed++
+			if !gs.granted[a.phys] {
+				return fmt.Errorf("core: fsck: guest %d attachment %q phys slot %d not granted", id, name, a.phys)
+			}
+			if gs.physAtt[a.phys] != a {
+				return fmt.Errorf("core: fsck: guest %d attachment %q phys slot %d slot-table mismatch", id, name, a.phys)
+			}
+			want[a.phys] = a.subCtx.Pointer()
 		}
-		if len(want) != len(gs.granted) {
-			return fmt.Errorf("core: fsck: guest %d has %d grants for %d live attachments", id, len(gs.granted), len(want))
+		if backed != len(gs.granted) || backed != len(gs.physAtt) {
+			return fmt.Errorf("core: fsck: guest %d has %d grants / %d slot-table entries for %d backed attachments",
+				id, len(gs.granted), len(gs.physAtt), backed)
 		}
-		// Every sub slot must match; every other slot must be empty.
-		for idx := firstSubIdx; idx < gs.nextIdx; idx++ {
+		if backed > gs.budget {
+			return fmt.Errorf("core: fsck: guest %d has %d backed slots over budget %d", id, backed, gs.budget)
+		}
+		// Every sub slot of the whole list must match the slot table;
+		// every other slot must be empty. This reads the list through
+		// physical memory — the audit is against the machine, not the
+		// occupancy cache.
+		for idx := firstSubIdx; idx < ept.ListEntries; idx++ {
 			p, err := gs.list.Get(idx)
 			if err != nil {
 				return err
@@ -105,7 +125,7 @@ func (m *Manager) Fsck() error {
 					return fmt.Errorf("core: fsck: guest %d slot %d holds %v, want %v", id, idx, p, w)
 				}
 			} else if p != ept.NilPointer {
-				return fmt.Errorf("core: fsck: guest %d slot %d should be revoked but holds %v", id, idx, p)
+				return fmt.Errorf("core: fsck: guest %d slot %d should be empty but holds %v", id, idx, p)
 			}
 		}
 	}
@@ -115,8 +135,14 @@ func (m *Manager) Fsck() error {
 // SubContextMappings returns the complete mapping set of a guest's sub
 // context for an object — the audit view isolation tests assert against.
 func (m *Manager) SubContextMappings(guest *hv.VM, objName string) ([]ept.Mapping, error) {
-	a, ok := m.Attachment(guest, objName)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	gs, ok := m.guests[guest.ID()]
 	if !ok {
+		return nil, fmt.Errorf("core: guest %q is not attached to %q", guest.Name(), objName)
+	}
+	a, ok := gs.attachments[objName]
+	if !ok || a.revoked {
 		return nil, fmt.Errorf("core: guest %q is not attached to %q", guest.Name(), objName)
 	}
 	return a.subCtx.Mappings()
@@ -125,6 +151,8 @@ func (m *Manager) SubContextMappings(guest *hv.VM, objName string) ([]ept.Mappin
 // GateContextMappings returns the complete mapping set of a guest's gate
 // context.
 func (m *Manager) GateContextMappings(guest *hv.VM) ([]ept.Mapping, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	gs, ok := m.guests[guest.ID()]
 	if !ok {
 		return nil, fmt.Errorf("core: guest %q has no ELISA state", guest.Name())
@@ -134,6 +162,8 @@ func (m *Manager) GateContextMappings(guest *hv.VM) ([]ept.Mapping, error) {
 
 // GateGPA reports where the gate page sits in a guest's address space.
 func (m *Manager) GateGPA(guest *hv.VM) (gpa uint64, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	gs, found := m.guests[guest.ID()]
 	if !found {
 		return 0, false

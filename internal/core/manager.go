@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"github.com/elisa-go/elisa/internal/cpu"
 	"github.com/elisa-go/elisa/internal/ept"
@@ -107,6 +109,13 @@ type ObjectFunc func(ctx *CallContext) (uint64, error)
 // Manager is the ELISA manager-VM runtime. Host-side code creates exactly
 // one per machine; guests talk to it only through the negotiation
 // hypercalls (slow path) and the gate (fast path).
+//
+// The manager is safe for concurrent use by multiple guest-driving
+// goroutines (one goroutine per guest vCPU): all slow-path work — the
+// negotiation hypercalls, slot faults, and every public accessor —
+// serialises on one mutex, mirroring the single manager VM of the real
+// system. The fast path takes the lock only for the gate's slot-table
+// lookups, never while a manager function runs.
 type Manager struct {
 	hv *hv.Hypervisor
 	vm *hv.VM // the manager VM itself
@@ -114,11 +123,23 @@ type Manager struct {
 	gateCode *hv.HostRegion // 1 page, RX in default+gate+sub contexts
 	mgrCode  *hv.HostRegion // 1 page, RX in sub contexts only
 
+	// mu guards all mutable manager state below. Lowercase helpers assume
+	// it is held; exported methods and hypercall handlers take it.
+	mu sync.Mutex
+
 	objects    map[string]*Object
 	nextObjGPA mem.GPA
 
 	guests map[int]*guestState // by VM id
 	funcs  map[uint64]ObjectFunc
+
+	// slotBudget is the per-guest cap on physical EPTP-list slots handed
+	// to sub contexts (see ManagerConfig.SlotBudget). Attachments beyond
+	// it stay virtual until a slot fault backs them.
+	slotBudget int
+	// lruTick is a global logical clock stamped onto attachments on every
+	// fast-path hit; the eviction policy takes the per-guest minimum.
+	lruTick uint64
 
 	// rec, when non-nil, is the fast-path flight recorder Call/CallMulti
 	// report spans to. Nil means observability is off and the hot path
@@ -141,35 +162,63 @@ type guestState struct {
 	gateCtx *ept.Table
 	gateGPA mem.GPA
 	stack   *hv.HostRegion
-	nextIdx int
-	// attachments by object name; granted marks live EPTP-list slots the
-	// gate will let this guest switch to; retired holds detached
+
+	// Slot virtualisation. Attachments are named by stable *virtual* slot
+	// IDs (monotone, never reused — a stale handle can never alias a new
+	// grant). A virtual slot is *backed* when an entry of the guest's
+	// physical EPTP list holds its sub context; at most budget slots are
+	// backed at once, and the LRU binding is evicted to make room. The
+	// gate switches only to physical slots; the vslot->phys table below is
+	// the gate code's slot table.
+	budget    int
+	nextVSlot int
+	vslots    map[int]*Attachment // by virtual slot, incl. revoked (stale)
+	physAtt   map[int]*Attachment // by physical slot, backed only
+
+	// attachments by object name; granted marks live *physical* EPTP-list
+	// slots the gate will let this guest switch to; retired holds detached
 	// attachments whose exchange buffers await CleanupGuest (the guest's
 	// default context may still map them).
 	attachments map[string]*Attachment
 	granted     map[int]bool
 	retired     []*Attachment
+
+	// slow-path accounting (see Manager.SlotStats)
+	faults    uint64
+	evictions uint64
 }
 
 // Attachment is one (guest, object) grant: a sub EPT context plus its
-// exchange buffer.
+// exchange buffer, named by a stable virtual slot and backed — when the
+// guest's slot budget allows — by a physical EPTP-list slot.
 type Attachment struct {
 	guest       *hv.VM
 	obj         *Object
 	subCtx      *ept.Table
-	subIdx      int
+	vslot       int
+	phys        int // physical EPTP-list slot, or physNone when unbacked
+	lastUse     uint64
 	perm        ept.Perm
 	exchange    *hv.HostRegion
 	exchangeGPA mem.GPA
 	revoked     bool
 
-	// accounting (see Manager.Stats)
-	calls    uint64
-	fnErrors uint64
+	// accounting (see Manager.Stats); atomic so the fast path bumps them
+	// without the manager lock.
+	calls    atomic.Uint64
+	fnErrors atomic.Uint64
 }
 
-// SubIndex returns the attachment's EPTP-list slot.
-func (a *Attachment) SubIndex() int { return a.subIdx }
+// physNone marks an attachment without a physical EPTP-list slot.
+const physNone = -1
+
+// SubIndex returns the attachment's virtual slot ID (what the guest's
+// handle names; stable for the attachment's lifetime).
+func (a *Attachment) SubIndex() int { return a.vslot }
+
+// PhysIndex returns the physical EPTP-list slot currently backing the
+// attachment, or -1 when it is unbacked (the next call takes a slot fault).
+func (a *Attachment) PhysIndex() int { return a.phys }
 
 // ExchangeGPA returns the guest-visible exchange buffer address.
 func (a *Attachment) ExchangeGPA() mem.GPA { return a.exchangeGPA }
@@ -178,6 +227,11 @@ func (a *Attachment) ExchangeGPA() mem.GPA { return a.exchangeGPA }
 type ManagerConfig struct {
 	// RAMBytes is the manager VM's private RAM (default 64 KiB).
 	RAMBytes int
+	// SlotBudget caps the physical EPTP-list slots each guest's sub
+	// contexts may occupy at once. 0 means the whole list (minus the
+	// default and gate slots). Attachments beyond the budget still
+	// succeed; their first call re-negotiates a slot over HCSlotFault.
+	SlotBudget int
 }
 
 // NewManager boots the manager VM and its runtime, and registers the
@@ -185,6 +239,10 @@ type ManagerConfig struct {
 func NewManager(h *hv.Hypervisor, cfg ManagerConfig) (*Manager, error) {
 	if cfg.RAMBytes == 0 {
 		cfg.RAMBytes = 16 * mem.PageSize
+	}
+	maxBudget := ept.ListEntries - firstSubIdx
+	if cfg.SlotBudget <= 0 || cfg.SlotBudget > maxBudget {
+		cfg.SlotBudget = maxBudget
 	}
 	vm, err := h.CreateVM("elisa-manager", cfg.RAMBytes)
 	if err != nil {
@@ -215,6 +273,7 @@ func NewManager(h *hv.Hypervisor, cfg ManagerConfig) (*Manager, error) {
 		nextObjGPA: objectBaseGPA,
 		guests:     make(map[int]*guestState),
 		funcs:      make(map[uint64]ObjectFunc),
+		slotBudget: cfg.SlotBudget,
 	}
 	if err := m.registerHypercalls(); err != nil {
 		return nil, err
@@ -234,6 +293,8 @@ func (m *Manager) VM() *hv.VM { return m.vm }
 // CreateObject allocates a shared object of at least size bytes. Guests
 // may attach with the default grant (read-write) unless restricted.
 func (m *Manager) CreateObject(name string, size int) (*Object, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if name == "" {
 		return nil, fmt.Errorf("core: object name must not be empty")
 	}
@@ -269,6 +330,8 @@ func (m *Manager) CreateObject(name string, size int) (*Object, error) {
 // fewer table frames, deeper TLB reach for large objects (see the
 // ext_hugepages experiment).
 func (m *Manager) CreateObjectHuge(name string, size int) (*Object, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if name == "" {
 		return nil, fmt.Errorf("core: object name must not be empty")
 	}
@@ -307,6 +370,8 @@ func (o *Object) Huge() bool { return o.huge }
 // ownership of the region's mappings into sub contexts; the region itself
 // remains with its allocator.
 func (m *Manager) CreateObjectFromRegion(name string, region *hv.HostRegion) (*Object, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if name == "" {
 		return nil, fmt.Errorf("core: object name must not be empty")
 	}
@@ -332,6 +397,8 @@ func (m *Manager) CreateObjectFromRegion(name string, region *hv.HostRegion) (*O
 
 // Object looks up a shared object by name.
 func (m *Manager) Object(name string) (*Object, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	o, ok := m.objects[name]
 	return o, ok
 }
@@ -339,6 +406,8 @@ func (m *Manager) Object(name string) (*Object, bool) {
 // Restrict sets the grant given to guests without an explicit Grant entry;
 // ept.Perm(0) means "deny unless explicitly granted".
 func (m *Manager) Restrict(objName string, defaultPerm ept.Perm) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	o, ok := m.objects[objName]
 	if !ok {
 		return fmt.Errorf("core: no object %q", objName)
@@ -350,6 +419,8 @@ func (m *Manager) Restrict(objName string, defaultPerm ept.Perm) error {
 // Grant sets the permission a specific guest receives when attaching to
 // the object (overriding the default grant).
 func (m *Manager) Grant(objName string, guest *hv.VM, perm ept.Perm) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	o, ok := m.objects[objName]
 	if !ok {
 		return fmt.Errorf("core: no object %q", objName)
@@ -362,6 +433,8 @@ func (m *Manager) Grant(objName string, guest *hv.VM, perm ept.Perm) error {
 // with Handle.Call. In the paper's terms this places code in the manager
 // code page.
 func (m *Manager) RegisterFunc(id uint64, fn ObjectFunc) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if fn == nil {
 		return fmt.Errorf("core: nil function for id %d", id)
 	}
@@ -374,6 +447,8 @@ func (m *Manager) RegisterFunc(id uint64, fn ObjectFunc) error {
 
 // Attachment returns the live attachment of a guest to an object, if any.
 func (m *Manager) Attachment(guest *hv.VM, objName string) (*Attachment, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	gs, ok := m.guests[guest.ID()]
 	if !ok {
 		return nil, false
@@ -385,11 +460,14 @@ func (m *Manager) Attachment(guest *hv.VM, objName string) (*Attachment, bool) {
 	return a, true
 }
 
-// Revoke withdraws a guest's access to an object: the EPTP-list slot is
-// cleared and the sub context destroyed. The guest's next attempt to
-// switch there faults and the hypervisor kills it — revocation is
-// immediate and non-negotiable.
+// Revoke withdraws a guest's access to an object: the backing EPTP-list
+// slot (if any) is cleared and the sub context destroyed. The guest's next
+// cooperative call is refused at the gate; a guest that bypasses the gate
+// and VMFUNCs straight to the dead slot faults and the hypervisor kills
+// it — revocation is immediate and non-negotiable.
 func (m *Manager) Revoke(guest *hv.VM, objName string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	gs, ok := m.guests[guest.ID()]
 	if !ok {
 		return fmt.Errorf("core: guest %q has no ELISA state", guest.Name())
@@ -399,18 +477,34 @@ func (m *Manager) Revoke(guest *hv.VM, objName string) error {
 		return fmt.Errorf("core: guest %q is not attached to %q", guest.Name(), objName)
 	}
 	a.revoked = true
-	delete(gs.granted, a.subIdx)
-	if err := gs.list.Revoke(a.subIdx); err != nil {
+	if err := m.unbindLocked(gs, a); err != nil {
 		return err
 	}
 	m.hv.Trace().Emit(guest.VCPU().Clock().Now(), guest.Name(), trace.KindRevoke,
-		"object %q slot %d", objName, a.subIdx)
+		"object %q vslot %d", objName, a.vslot)
 	// Drop cached translations for the dying context before its table
 	// frames are recycled.
 	guest.VCPU().TLB().InvalidateContext(a.subCtx.Pointer())
 	if err := a.subCtx.Destroy(); err != nil {
 		return err
 	}
+	return nil
+}
+
+// unbindLocked releases an attachment's physical slot, if it has one:
+// list entry cleared, gate grant withdrawn, free-pool accounting updated.
+// The virtual slot stays in gs.vslots (marked stale by a.revoked) so stale
+// handles keep resolving to a clean gate refusal.
+func (m *Manager) unbindLocked(gs *guestState, a *Attachment) error {
+	if a.phys == physNone {
+		return nil
+	}
+	delete(gs.granted, a.phys)
+	delete(gs.physAtt, a.phys)
+	if err := gs.list.Revoke(a.phys); err != nil {
+		return err
+	}
+	a.phys = physNone
 	return nil
 }
 

@@ -10,13 +10,18 @@ import (
 )
 
 // Negotiation hypercall numbers ("E115A" ≈ ELISA). These are the *only*
-// exits in the protocol, and they happen once per attachment.
+// exits in the protocol: once per attachment, plus one per slot fault
+// when a guest's working set outruns its physical-slot budget.
 const (
 	// HCAttach: args = (name GPA, name length, response GPA).
 	// The response is a 5x8-byte record written into guest RAM.
 	HCAttach uint64 = 0xE115A001
 	// HCDetach: args = (name GPA, name length).
 	HCDetach uint64 = 0xE115A002
+	// HCSlotFault: args = (virtual slot). Re-negotiates the physical
+	// backing of a virtual slot the gate code missed on; returns the
+	// physical EPTP-list slot now backing it.
+	HCSlotFault uint64 = 0xE115A003
 )
 
 // attachResp is the negotiation response layout (5 little-endian u64s).
@@ -26,7 +31,10 @@ func (m *Manager) registerHypercalls() error {
 	if err := m.hv.RegisterHypercall(HCAttach, m.hcAttach); err != nil {
 		return err
 	}
-	return m.hv.RegisterHypercall(HCDetach, m.hcDetach)
+	if err := m.hv.RegisterHypercall(HCDetach, m.hcDetach); err != nil {
+		return err
+	}
+	return m.hv.RegisterHypercall(HCSlotFault, m.hcSlotFault)
 }
 
 func (m *Manager) readName(vm *hv.VM, gpa, n uint64) (string, error) {
@@ -44,6 +52,8 @@ func (m *Manager) readName(vm *hv.VM, gpa, n uint64) (string, error) {
 // the manager VM": its construction cost lands on the manager's clock,
 // while the calling guest pays the hypercall round trips.
 func (m *Manager) hcAttach(vm *hv.VM, args [4]uint64) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	name, err := m.readName(vm, args[0], args[1])
 	if err != nil {
 		return 0, err
@@ -60,7 +70,7 @@ func (m *Manager) hcAttach(vm *hv.VM, args [4]uint64) (uint64, error) {
 	}
 	gs := m.guests[vm.ID()]
 	resp := make([]byte, attachRespBytes)
-	binary.LittleEndian.PutUint64(resp[0:], uint64(a.subIdx))
+	binary.LittleEndian.PutUint64(resp[0:], uint64(a.vslot))
 	binary.LittleEndian.PutUint64(resp[8:], uint64(gs.gateGPA))
 	binary.LittleEndian.PutUint64(resp[16:], uint64(a.exchangeGPA))
 	binary.LittleEndian.PutUint64(resp[24:], uint64(a.exchange.Size()))
@@ -74,6 +84,8 @@ func (m *Manager) hcAttach(vm *hv.VM, args [4]uint64) (uint64, error) {
 // hcDetach tears down a guest's attachment voluntarily. Unlike Revoke it
 // is guest-initiated and graceful (no kill).
 func (m *Manager) hcDetach(vm *hv.VM, args [4]uint64) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	name, err := m.readName(vm, args[0], args[1])
 	if err != nil {
 		return 0, err
@@ -87,9 +99,8 @@ func (m *Manager) hcDetach(vm *hv.VM, args [4]uint64) (uint64, error) {
 		return 0, fmt.Errorf("core: guest %q is not attached to %q", vm.Name(), name)
 	}
 	a.revoked = true
-	delete(gs.granted, a.subIdx)
 	delete(gs.attachments, name)
-	if err := gs.list.Revoke(a.subIdx); err != nil {
+	if err := m.unbindLocked(gs, a); err != nil {
 		return 0, err
 	}
 	vm.VCPU().TLB().InvalidateContext(a.subCtx.Pointer())
@@ -98,9 +109,43 @@ func (m *Manager) hcDetach(vm *hv.VM, args [4]uint64) (uint64, error) {
 	}
 	// The exchange buffer stays mapped in the guest's default context
 	// (the guest may still hold data there); its frames are released by
-	// CleanupGuest when the guest goes away.
+	// CleanupGuest when the guest goes away. The virtual slot stays in
+	// gs.vslots, marked revoked, so a stale handle is refused cleanly.
 	gs.retired = append(gs.retired, a)
 	m.hv.Trace().Emit(vm.VCPU().Clock().Now(), vm.Name(), trace.KindDetach,
-		"object %q slot %d", name, a.subIdx)
+		"object %q vslot %d", name, a.vslot)
 	return 0, nil
+}
+
+// hcSlotFault re-negotiates the physical backing of a virtual slot. The
+// gate code issues it when its slot table misses — the attachment is live
+// but currently unbacked. Like all negotiation this is a slow path: the
+// guest pays the hypercall round trip, the manager pays the list edits.
+// Crucially it is an *error-free* path for well-behaved guests: running
+// out of physical slots never kills anyone, it only costs them this exit.
+func (m *Manager) hcSlotFault(vm *hv.VM, args [4]uint64) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	gs, ok := m.guests[vm.ID()]
+	if !ok {
+		return 0, fmt.Errorf("core: guest %q has no ELISA state", vm.Name())
+	}
+	vslot := int(args[0])
+	a := gs.vslots[vslot]
+	if a == nil || a.revoked {
+		return 0, fmt.Errorf("core: guest %q has no live attachment at virtual slot %d", vm.Name(), vslot)
+	}
+	if a.phys != physNone {
+		// Benign re-fault (already backed): nothing to do.
+		return uint64(a.phys), nil
+	}
+	gs.faults++
+	if err := m.faultBindLocked(gs, a); err != nil {
+		return 0, err
+	}
+	m.hv.Trace().Emit(vm.VCPU().Clock().Now(), vm.Name(), trace.KindSlotFault,
+		"object %q vslot %d -> phys %d", a.obj.name, vslot, a.phys)
+	// Manager-side work: the list write plus slot-table bookkeeping.
+	m.vm.VCPU().Charge(m.hv.Cost().MemAccess * 4)
+	return uint64(a.phys), nil
 }

@@ -20,9 +20,19 @@ const ListEntries = 512
 //	index 0 — the guest's default EPT context
 //	index 1 — the gate EPT context
 //	index 2+ — sub EPT contexts granted by the manager
+//
+// The List mirrors the page's occupancy in a bitmap so allocators ask
+// FindFree instead of scanning 512 entries through physical memory; the
+// fleet control plane leans on this when it recycles slots at high rates.
 type List struct {
 	pm    *mem.PhysMem
 	frame mem.HFN
+
+	// occ mirrors which entries hold a non-nil EPTP (one bit per slot);
+	// used counts them. Both are maintained by Set/Revoke, so occupancy
+	// queries and free-slot searches never touch physical memory.
+	occ  [ListEntries / 64]uint64
+	used int
 }
 
 // NewList allocates a zeroed EPTP list page.
@@ -52,7 +62,21 @@ func (l *List) Set(index int, p Pointer) error {
 	if err != nil {
 		return err
 	}
-	return l.pm.WriteU64(a, uint64(p))
+	if err := l.pm.WriteU64(a, uint64(p)); err != nil {
+		return err
+	}
+	word, bit := index/64, uint64(1)<<(index%64)
+	was := l.occ[word]&bit != 0
+	if p == NilPointer {
+		if was {
+			l.occ[word] &^= bit
+			l.used--
+		}
+	} else if !was {
+		l.occ[word] |= bit
+		l.used++
+	}
+	return nil
 }
 
 // Get reads the EPTP at the given index. A zero value means the slot is
@@ -68,6 +92,47 @@ func (l *List) Get(index int) (Pointer, error) {
 
 // Revoke clears the slot at index. Idempotent.
 func (l *List) Revoke(index int) error { return l.Set(index, NilPointer) }
+
+// Occupied returns the number of entries currently holding an EPTP.
+func (l *List) Occupied() int { return l.used }
+
+// Free returns the number of empty entries.
+func (l *List) Free() int { return ListEntries - l.used }
+
+// InUse reports whether the entry at index holds an EPTP, without reading
+// physical memory. Out-of-range indexes report false.
+func (l *List) InUse(index int) bool {
+	if index < 0 || index >= ListEntries {
+		return false
+	}
+	return l.occ[index/64]&(uint64(1)<<(index%64)) != 0
+}
+
+// FindFree returns the lowest empty slot index >= from. It searches the
+// occupancy bitmap a word at a time (eight words per list), so allocation
+// is O(1) rather than 512 physical-memory reads; freed slots are found
+// and reused in ascending order, keeping layouts deterministic.
+func (l *List) FindFree(from int) (int, bool) {
+	if from < 0 {
+		from = 0
+	}
+	for idx := from; idx < ListEntries; {
+		word := idx / 64
+		w := l.occ[word]
+		// Mask off bits below idx within this word, then look for a zero.
+		w |= (uint64(1) << (idx % 64)) - 1
+		if w != ^uint64(0) {
+			// Lowest zero bit of w.
+			for b := idx % 64; b < 64; b++ {
+				if w&(uint64(1)<<b) == 0 {
+					return word*64 + b, true
+				}
+			}
+		}
+		idx = (word + 1) * 64
+	}
+	return 0, false
+}
 
 // Destroy frees the list page.
 func (l *List) Destroy() error { return l.pm.FreeFrame(l.frame) }

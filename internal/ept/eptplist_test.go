@@ -1,0 +1,105 @@
+package ept
+
+import (
+	"testing"
+
+	"github.com/elisa-go/elisa/internal/mem"
+)
+
+func newTestList(t *testing.T) *List {
+	t.Helper()
+	pm, err := mem.NewPhysMem(16 * mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewList(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestListOccupancy exercises the bitmap-backed accounting: fill the list,
+// revoke slots, and confirm FindFree hands freed slots back in ascending
+// order and reports exhaustion when nothing is left.
+func TestListOccupancy(t *testing.T) {
+	l := newTestList(t)
+	if l.Occupied() != 0 || l.Free() != ListEntries {
+		t.Fatalf("fresh list: occupied=%d free=%d", l.Occupied(), l.Free())
+	}
+	if idx, ok := l.FindFree(0); !ok || idx != 0 {
+		t.Fatalf("FindFree on empty list = (%d,%v), want (0,true)", idx, ok)
+	}
+
+	// Fill every slot via FindFree, as an allocator would.
+	for i := 0; i < ListEntries; i++ {
+		idx, ok := l.FindFree(0)
+		if !ok {
+			t.Fatalf("FindFree exhausted early at %d", i)
+		}
+		if idx != i {
+			t.Fatalf("FindFree returned %d, want %d (ascending order)", idx, i)
+		}
+		if err := l.Set(idx, Pointer(0x1000*uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Occupied() != ListEntries || l.Free() != 0 {
+		t.Fatalf("full list: occupied=%d free=%d", l.Occupied(), l.Free())
+	}
+	if _, ok := l.FindFree(0); ok {
+		t.Fatal("FindFree on a full list reported a free slot")
+	}
+
+	// Revoke a scattered set and check they are found again, lowest first.
+	for _, idx := range []int{5, 63, 64, 200, 511} {
+		if err := l.Revoke(idx); err != nil {
+			t.Fatal(err)
+		}
+		if l.InUse(idx) {
+			t.Fatalf("slot %d still marked in use after revoke", idx)
+		}
+	}
+	if l.Occupied() != ListEntries-5 {
+		t.Fatalf("occupied=%d after 5 revokes", l.Occupied())
+	}
+	for _, want := range []int{5, 63, 64, 200, 511} {
+		idx, ok := l.FindFree(0)
+		if !ok || idx != want {
+			t.Fatalf("FindFree = (%d,%v), want (%d,true)", idx, ok, want)
+		}
+		if err := l.Set(idx, Pointer(0xdead000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := l.FindFree(0); ok {
+		t.Fatal("list should be full again")
+	}
+
+	// Double-revoke is idempotent for the accounting.
+	if err := l.Revoke(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Revoke(7); err != nil {
+		t.Fatal(err)
+	}
+	if l.Occupied() != ListEntries-1 {
+		t.Fatalf("occupied=%d after double revoke of one slot", l.Occupied())
+	}
+
+	// FindFree honours its floor: slot 7 is free but below the floor.
+	if _, ok := l.FindFree(8); ok {
+		t.Fatal("FindFree(8) found a slot although only 7 is free")
+	}
+	if idx, ok := l.FindFree(3); !ok || idx != 7 {
+		t.Fatalf("FindFree(3) = (%d,%v), want (7,true)", idx, ok)
+	}
+
+	// Overwriting an occupied slot must not double-count.
+	if err := l.Set(9, Pointer(0xbeef000)); err != nil {
+		t.Fatal(err)
+	}
+	if l.Occupied() != ListEntries-1 {
+		t.Fatalf("occupied=%d after overwriting an occupied slot", l.Occupied())
+	}
+}

@@ -1,0 +1,363 @@
+// Package fleet is the control plane for running many ELISA tenants on
+// one simulated machine: a deterministic scheduler that time-slices N
+// simulated cores across the guests' vCPUs, with per-tenant weights
+// (stride scheduling), admission control, and bounded per-tenant queues
+// with drop accounting.
+//
+// Tenancy is where the slot-virtualisation layer earns its keep: hundreds
+// of guests holding thousands of attachments share one 512-entry EPTP
+// list per guest, and the scheduler drives their exit-less calls through
+// the real manager, so slot faults and evictions show up in the latency
+// histograms exactly as they would on hardware. Everything is seeded and
+// event-ordered, so two runs with the same seed produce byte-identical
+// reports.
+package fleet
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/elisa-go/elisa/internal/core"
+	"github.com/elisa-go/elisa/internal/des"
+	"github.com/elisa-go/elisa/internal/hv"
+	"github.com/elisa-go/elisa/internal/simtime"
+	"github.com/elisa-go/elisa/internal/stats"
+	"github.com/elisa-go/elisa/internal/workload"
+)
+
+// Config configures a Scheduler.
+type Config struct {
+	// Cores is the number of simulated cores the fleet time-slices
+	// (default 1).
+	Cores int
+	// Quantum is the maximum core time one tenant holds per scheduling
+	// turn (default 10µs of simulated time, ~50 hot calls).
+	Quantum simtime.Duration
+	// MaxTenants is the admission cap; Admit fails beyond it (0 = no cap).
+	MaxTenants int
+	// QueueDepth bounds each tenant's pending-op queue; arrivals beyond
+	// it are dropped and counted (default 64).
+	QueueDepth int
+	// Seed feeds every tenant's arrival process. Two schedulers built
+	// with the same seed and tenant set produce byte-identical reports.
+	Seed int64
+}
+
+// TenantSpec describes one tenant to admit.
+type TenantSpec struct {
+	// Name is the guest VM's name.
+	Name string
+	// Weight is the tenant's share of core time under contention
+	// (stride scheduling; default 1).
+	Weight int
+	// RAMBytes is the guest's private RAM (default 16 pages).
+	RAMBytes int
+	// Objects are the shared objects to attach at admission. Ops cycle
+	// over them round-robin, so a working set larger than the guest's
+	// slot budget exercises the HCSlotFault slow path.
+	Objects []string
+	// Fn is the manager function every op calls.
+	Fn uint64
+	// RateOPS is the open-loop arrival rate, ops per simulated second.
+	RateOPS float64
+	// Ops caps the total arrivals (0 = unlimited until the run deadline).
+	Ops int
+}
+
+// strideScale is the stride-scheduling numerator: pass advances by
+// strideScale/Weight per quantum, so heavier tenants accumulate pass more
+// slowly and are picked more often.
+const strideScale = 1 << 20
+
+// Tenant is one admitted guest plus its scheduling state.
+type Tenant struct {
+	spec    TenantSpec
+	index   int
+	vm      *hv.VM
+	guest   *core.Guest
+	handles []*core.Handle
+	arrival *workload.Poisson
+
+	rr     int // round-robin cursor over handles
+	pass   uint64
+	stride uint64
+
+	queue     []simtime.Time // arrival stamps of pending ops
+	submitted uint64
+	completed uint64
+	dropped   uint64
+	fnErrors  uint64
+	maxQueue  int
+	coreTime  simtime.Duration
+	hist      *stats.Histogram
+}
+
+// Name returns the tenant's guest name.
+func (t *Tenant) Name() string { return t.spec.Name }
+
+// VM exposes the tenant's guest VM.
+func (t *Tenant) VM() *hv.VM { return t.vm }
+
+// Scheduler is a fleet of tenants over one hypervisor + manager.
+type Scheduler struct {
+	hv  *hv.Hypervisor
+	mgr *core.Manager
+	cfg Config
+
+	mu      sync.Mutex
+	tenants []*Tenant
+	elapsed simtime.Duration // accumulated across Run calls
+	ran     bool
+}
+
+// New builds an empty fleet over an existing machine.
+func New(h *hv.Hypervisor, mgr *core.Manager, cfg Config) (*Scheduler, error) {
+	if h == nil || mgr == nil {
+		return nil, fmt.Errorf("fleet: need a hypervisor and a manager")
+	}
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 10_000
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return &Scheduler{hv: h, mgr: mgr, cfg: cfg}, nil
+}
+
+// Admit boots a tenant guest, attaches its objects, and adds it to the
+// schedule. It enforces the MaxTenants admission cap; a refused tenant
+// costs the machine nothing.
+func (s *Scheduler) Admit(spec TenantSpec) (*Tenant, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.MaxTenants > 0 && len(s.tenants) >= s.cfg.MaxTenants {
+		return nil, fmt.Errorf("fleet: admission refused: %d tenants at cap %d", len(s.tenants), s.cfg.MaxTenants)
+	}
+	if spec.Name == "" {
+		return nil, fmt.Errorf("fleet: tenant needs a name")
+	}
+	if len(spec.Objects) == 0 {
+		return nil, fmt.Errorf("fleet: tenant %q has no objects", spec.Name)
+	}
+	if spec.RateOPS <= 0 {
+		return nil, fmt.Errorf("fleet: tenant %q needs a positive arrival rate", spec.Name)
+	}
+	if spec.Weight <= 0 {
+		spec.Weight = 1
+	}
+	if spec.RAMBytes == 0 {
+		spec.RAMBytes = 16 * 4096
+	}
+	idx := len(s.tenants)
+	arrival, err := workload.NewPoisson(s.cfg.Seed+int64(idx)*7919+1, spec.RateOPS)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: tenant %q: %w", spec.Name, err)
+	}
+	vm, err := s.hv.CreateVM(spec.Name, spec.RAMBytes)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: tenant %q: %w", spec.Name, err)
+	}
+	g, err := core.NewGuest(vm, s.mgr)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: tenant %q: %w", spec.Name, err)
+	}
+	t := &Tenant{
+		spec:    spec,
+		index:   idx,
+		vm:      vm,
+		guest:   g,
+		arrival: arrival,
+		stride:  strideScale / uint64(spec.Weight),
+		hist:    stats.NewHistogram(),
+	}
+	for _, obj := range spec.Objects {
+		h, err := g.Attach(obj)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: tenant %q attach %q: %w", spec.Name, obj, err)
+		}
+		t.handles = append(t.handles, h)
+	}
+	s.tenants = append(s.tenants, t)
+	return t, nil
+}
+
+// Tenants returns the admitted tenants in admission order.
+func (s *Scheduler) Tenants() []*Tenant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Tenant(nil), s.tenants...)
+}
+
+// Run simulates the fleet for d of virtual time: open-loop arrivals feed
+// each tenant's bounded queue, and the cores drain the queues by stride
+// schedule, executing every op as a real exit-less call on the tenant's
+// vCPU (so slot faults, evictions, and gate costs are all charged). It
+// returns the per-tenant report, ordered by admission.
+func (s *Scheduler) Run(d simtime.Duration) (*Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d <= 0 {
+		return nil, fmt.Errorf("fleet: run duration %d must be positive", d)
+	}
+	if len(s.tenants) == 0 {
+		return nil, fmt.Errorf("fleet: no tenants admitted")
+	}
+
+	sim := des.New()
+	deadline := sim.Now().Add(d)
+	idle := make([]bool, s.cfg.Cores)
+	for i := range idle {
+		idle[i] = true
+	}
+
+	// dispatch hands every idle core the min-pass runnable tenant and
+	// runs one quantum's worth of its queue as back-to-back calls.
+	var dispatch func(now simtime.Time)
+	dispatch = func(now simtime.Time) {
+		for {
+			coreID := -1
+			for i, free := range idle {
+				if free {
+					coreID = i
+					break
+				}
+			}
+			if coreID < 0 {
+				return
+			}
+			var next *Tenant
+			for _, t := range s.tenants {
+				if len(t.queue) == 0 {
+					continue
+				}
+				if next == nil || t.pass < next.pass || (t.pass == next.pass && t.index < next.index) {
+					next = t
+				}
+			}
+			if next == nil {
+				return
+			}
+			t := next
+			v := t.vm.VCPU()
+			var spent simtime.Duration
+			for len(t.queue) > 0 && spent < s.cfg.Quantum {
+				arrived := t.queue[0]
+				t.queue = t.queue[1:]
+				c0 := v.Clock().Now()
+				_, err := t.handles[t.rr].Call(v, t.spec.Fn)
+				t.rr = (t.rr + 1) % len(t.handles)
+				cost := v.Clock().Elapsed(c0)
+				spent += cost
+				if err != nil {
+					t.fnErrors++
+					continue
+				}
+				t.completed++
+				t.hist.Record(int64(now.Add(spent).Sub(arrived)))
+			}
+			t.pass += t.stride
+			t.coreTime += spent
+			idle[coreID] = false
+			id := coreID
+			if _, err := sim.After(spent, func(now2 simtime.Time) {
+				idle[id] = true
+				dispatch(now2)
+			}); err != nil {
+				idle[id] = true // negative-delay can't happen; keep the core alive
+			}
+		}
+	}
+
+	// One self-rescheduling arrival chain per tenant.
+	var arrive func(t *Tenant) func(now simtime.Time)
+	arrive = func(t *Tenant) func(now simtime.Time) {
+		return func(now simtime.Time) {
+			if t.spec.Ops > 0 && t.submitted >= uint64(t.spec.Ops) {
+				return
+			}
+			t.submitted++
+			if len(t.queue) >= s.cfg.QueueDepth {
+				t.dropped++
+			} else {
+				t.queue = append(t.queue, now)
+				if len(t.queue) > t.maxQueue {
+					t.maxQueue = len(t.queue)
+				}
+				dispatch(now)
+			}
+			_, _ = sim.After(t.arrival.NextInterval(), arrive(t))
+		}
+	}
+	for _, t := range s.tenants {
+		if _, err := sim.After(t.arrival.NextInterval(), arrive(t)); err != nil {
+			return nil, err
+		}
+	}
+
+	sim.RunUntil(deadline)
+	s.elapsed += d
+	s.ran = true
+	return s.reportLocked(), nil
+}
+
+// Report is one fleet run's result set.
+type Report struct {
+	Duration simtime.Duration
+	Cores    int
+	Tenants  []TenantReport // admission order
+}
+
+// TenantReport is one tenant's accounting for a run.
+type TenantReport struct {
+	Name      string
+	Weight    int
+	Submitted uint64
+	Completed uint64
+	Dropped   uint64
+	FnErrors  uint64
+	// GoodputOPS is completed ops per simulated second.
+	GoodputOPS float64
+	// P50/P99 are call completion latencies (queueing included).
+	P50      simtime.Duration
+	P99      simtime.Duration
+	MaxQueue int
+	// CoreTime is the core time the tenant actually consumed.
+	CoreTime simtime.Duration
+}
+
+func (s *Scheduler) reportLocked() *Report {
+	r := &Report{Duration: s.elapsed, Cores: s.cfg.Cores}
+	for _, t := range s.tenants {
+		tr := TenantReport{
+			Name:      t.spec.Name,
+			Weight:    t.spec.Weight,
+			Submitted: t.submitted,
+			Completed: t.completed,
+			Dropped:   t.dropped,
+			FnErrors:  t.fnErrors,
+			P50:       simtime.Duration(t.hist.Percentile(0.50)),
+			P99:       simtime.Duration(t.hist.Percentile(0.99)),
+			MaxQueue:  t.maxQueue,
+			CoreTime:  t.coreTime,
+		}
+		if s.elapsed > 0 {
+			tr.GoodputOPS = float64(t.completed) * 1e9 / float64(s.elapsed)
+		}
+		r.Tenants = append(r.Tenants, tr)
+	}
+	return r
+}
+
+// Snapshot returns the current per-tenant accounting (the metrics-export
+// view; identical to the last Run's report once a run finished).
+func (s *Scheduler) Snapshot() *Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reportLocked()
+}

@@ -1,0 +1,220 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/elisa-go/elisa/internal/core"
+	"github.com/elisa-go/elisa/internal/hv"
+	"github.com/elisa-go/elisa/internal/mem"
+)
+
+const fnNop uint64 = 1
+
+type rig struct {
+	hv  *hv.Hypervisor
+	mgr *core.Manager
+}
+
+func newRig(t *testing.T, nObjects, slotBudget int) *rig {
+	t.Helper()
+	h, err := hv.New(hv.Config{PhysBytes: 256 * 1024 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewManager(h, core.ManagerConfig{SlotBudget: slotBudget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterFunc(fnNop, func(*core.CallContext) (uint64, error) { return 0, nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nObjects; i++ {
+		if _, err := m.CreateObject(fmt.Sprintf("obj-%02d", i), mem.PageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &rig{hv: h, mgr: m}
+}
+
+func objects(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("obj-%02d", i)
+	}
+	return out
+}
+
+// Same seed, same tenant set: the two reports must be deeply identical —
+// the scheduler is an event-ordered simulation, not a racy approximation.
+func TestFleetDeterministicRuns(t *testing.T) {
+	run := func() *Report {
+		r := newRig(t, 6, 2)
+		s, err := New(r.hv, r.mgr, Config{Cores: 2, Seed: 42, QueueDepth: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			spec := TenantSpec{
+				Name:    fmt.Sprintf("t%02d", i),
+				Weight:  1 + i%3,
+				Objects: objects(4), // working set 4 > budget 2: constant remaps
+				Fn:      fnNop,
+				RateOPS: 2_000_000,
+			}
+			if _, err := s.Admit(spec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rep, err := s.Run(2_000_000) // 2ms simulated
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed runs diverged:\n%+v\nvs\n%+v", a, b)
+	}
+	for _, tr := range a.Tenants {
+		if tr.Completed == 0 {
+			t.Fatalf("tenant %s completed nothing: %+v", tr.Name, tr)
+		}
+	}
+}
+
+// Under overload, completed work tracks the stride weights.
+func TestFleetWeightedSharing(t *testing.T) {
+	r := newRig(t, 2, 0)
+	s, err := New(r.hv, r.mgr, Config{Cores: 1, Seed: 7, QueueDepth: 256, Quantum: 2_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both tenants ask for far more than one core delivers (a hot call is
+	// 196ns, so capacity is ~5.1M ops/s; each asks for 20M).
+	specs := []TenantSpec{
+		{Name: "light", Weight: 1, Objects: objects(1), Fn: fnNop, RateOPS: 20_000_000},
+		{Name: "heavy", Weight: 3, Objects: objects(1), Fn: fnNop, RateOPS: 20_000_000},
+	}
+	for _, spec := range specs {
+		if _, err := s.Admit(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := s.Run(5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, heavy := rep.Tenants[0], rep.Tenants[1]
+	if light.Dropped == 0 || heavy.Dropped == 0 {
+		t.Fatalf("overload should drop: light=%+v heavy=%+v", light, heavy)
+	}
+	ratio := float64(heavy.Completed) / float64(light.Completed)
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("weight-3 tenant got %.2fx the weight-1 tenant's goodput, want ~3x (light %d, heavy %d)",
+			ratio, light.Completed, heavy.Completed)
+	}
+}
+
+// The admission cap refuses tenant N+1 and leaves the machine untouched.
+func TestFleetAdmissionControl(t *testing.T) {
+	r := newRig(t, 1, 0)
+	s, err := New(r.hv, r.mgr, Config{MaxTenants: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := s.Admit(TenantSpec{Name: fmt.Sprintf("t%d", i), Objects: objects(1), Fn: fnNop, RateOPS: 1000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vmsBefore := len(r.hv.VMs())
+	if _, err := s.Admit(TenantSpec{Name: "t2", Objects: objects(1), Fn: fnNop, RateOPS: 1000}); err == nil {
+		t.Fatal("third tenant admitted past MaxTenants=2")
+	}
+	if got := len(r.hv.VMs()); got != vmsBefore {
+		t.Fatalf("refused admission leaked a VM: %d -> %d", vmsBefore, got)
+	}
+	if len(s.Tenants()) != 2 {
+		t.Fatalf("tenant list: %d", len(s.Tenants()))
+	}
+}
+
+// Bounded queues: a tenant beyond capacity drops instead of growing an
+// unbounded backlog, and the queue high-water mark respects the bound.
+func TestFleetQueueBackpressure(t *testing.T) {
+	r := newRig(t, 1, 0)
+	s, err := New(r.hv, r.mgr, Config{Cores: 1, Seed: 3, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Admit(TenantSpec{Name: "flood", Objects: objects(1), Fn: fnNop, RateOPS: 50_000_000}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := rep.Tenants[0]
+	if tr.Dropped == 0 {
+		t.Fatalf("flooded tenant dropped nothing: %+v", tr)
+	}
+	if tr.MaxQueue > 8 {
+		t.Fatalf("queue exceeded bound: %d > 8", tr.MaxQueue)
+	}
+	if tr.Submitted != tr.Completed+tr.Dropped+uint64(0) && tr.Submitted < tr.Completed+tr.Dropped {
+		t.Fatalf("accounting: submitted %d < completed %d + dropped %d", tr.Submitted, tr.Completed, tr.Dropped)
+	}
+	if tr.GoodputOPS <= 0 {
+		t.Fatalf("no goodput: %+v", tr)
+	}
+}
+
+// A fleet whose tenants oversubscribe their slot budgets runs kill-free:
+// every miss re-negotiates through HCSlotFault, never an EPT violation.
+func TestFleetOversubscribedSlotsKillFree(t *testing.T) {
+	r := newRig(t, 8, 2)
+	s, err := New(r.hv, r.mgr, Config{Cores: 4, Seed: 11, QueueDepth: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 24
+	for i := 0; i < n; i++ {
+		if _, err := s.Admit(TenantSpec{
+			Name:    fmt.Sprintf("t%02d", i),
+			Objects: objects(8), // 4x the slot budget
+			Fn:      fnNop,
+			RateOPS: 1_000_000,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := s.Run(2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tn := range s.Tenants() {
+		if tn.VM().Dead() {
+			t.Fatalf("tenant %d killed", i)
+		}
+	}
+	totalFaults := uint64(0)
+	for _, ss := range r.mgr.SlotStats() {
+		if ss.Backed > 2 {
+			t.Fatalf("over budget: %+v", ss)
+		}
+		totalFaults += ss.Faults
+	}
+	if totalFaults == 0 {
+		t.Fatal("oversubscribed fleet never faulted — slots not actually contended")
+	}
+	for _, tr := range rep.Tenants {
+		if tr.Completed == 0 {
+			t.Fatalf("tenant %s starved: %+v", tr.Name, tr)
+		}
+	}
+	if err := r.mgr.Fsck(); err != nil {
+		t.Fatal(err)
+	}
+}

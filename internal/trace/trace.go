@@ -29,6 +29,8 @@ const (
 	KindDetach    Kind = "detach"
 	KindRevoke    Kind = "revoke"
 	KindCleanup   Kind = "cleanup"
+	KindSlotFault Kind = "slot-fault"
+	KindSlotEvict Kind = "slot-evict"
 )
 
 // Event is one record.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"github.com/elisa-go/elisa/internal/core"
+	"github.com/elisa-go/elisa/internal/ept"
+	"github.com/elisa-go/elisa/internal/fleet"
 	"github.com/elisa-go/elisa/internal/hv"
 	"github.com/elisa-go/elisa/internal/obs"
 )
@@ -15,6 +17,7 @@ func newMetricsRegistry(h *hv.Hypervisor, mgr *core.Manager, rec *obs.Recorder) 
 	reg := obs.NewRegistry()
 	reg.Register(collectMachine(h))
 	reg.Register(collectManager(mgr))
+	reg.Register(collectSlots(mgr))
 	reg.Register(obs.CollectRecorder(rec))
 	return reg
 }
@@ -78,6 +81,82 @@ func collectManager(mgr *core.Manager) obs.Collector {
 				Samples: []obs.Sample{{Value: float64(live)}}},
 			{Name: "elisa_objects", Help: "Registered shared objects.", Type: obs.TypeGauge,
 				Samples: []obs.Sample{{Value: float64(len(mgr.ObjectNames()))}}},
+		}
+	}
+}
+
+// collectSlots exports the slot-virtualisation layer: per-guest occupancy
+// of the 512-entry EPTP list, and the slow-path remap counters (faults =
+// HCSlotFault re-binds, evictions = LRU displacements). fault rate over
+// time is the fleet's remap rate.
+func collectSlots(mgr *core.Manager) obs.Collector {
+	capacity := float64(ept.ListEntries - 2) // minus default + gate slots
+	return func() []obs.Metric {
+		budget := obs.Metric{Name: "elisa_slot_budget",
+			Help: "Physical EPTP-list slots a guest may occupy at once.", Type: obs.TypeGauge}
+		backed := obs.Metric{Name: "elisa_slot_backed",
+			Help: "Physical EPTP-list slots a guest occupies now.", Type: obs.TypeGauge}
+		occupancy := obs.Metric{Name: "elisa_slot_occupancy_ratio",
+			Help: "Backed slots over the guest's budget.", Type: obs.TypeGauge}
+		virtual := obs.Metric{Name: "elisa_slot_virtual_only",
+			Help: "Live attachments currently without a physical slot.", Type: obs.TypeGauge}
+		faults := obs.Metric{Name: "elisa_slot_faults_total",
+			Help: "HCSlotFault re-binds (the virtualised slow path).", Type: obs.TypeCounter}
+		evictions := obs.Metric{Name: "elisa_slot_evictions_total",
+			Help: "LRU slot evictions.", Type: obs.TypeCounter}
+		totalBacked := 0.0
+		for _, ss := range mgr.SlotStats() {
+			labels := map[string]string{"guest": ss.Guest}
+			budget.Samples = append(budget.Samples, obs.Sample{Labels: labels, Value: float64(ss.Budget)})
+			backed.Samples = append(backed.Samples, obs.Sample{Labels: labels, Value: float64(ss.Backed)})
+			if ss.Budget > 0 {
+				occupancy.Samples = append(occupancy.Samples, obs.Sample{Labels: labels,
+					Value: float64(ss.Backed) / float64(ss.Budget)})
+			}
+			virtual.Samples = append(virtual.Samples, obs.Sample{Labels: labels,
+				Value: float64(ss.Live - ss.Backed)})
+			faults.Samples = append(faults.Samples, obs.Sample{Labels: labels, Value: float64(ss.Faults)})
+			evictions.Samples = append(evictions.Samples, obs.Sample{Labels: labels, Value: float64(ss.Evictions)})
+			totalBacked += float64(ss.Backed)
+		}
+		return []obs.Metric{
+			budget, backed, occupancy, virtual, faults, evictions,
+			{Name: "elisa_slot_list_capacity", Help: "Backable sub-context slots per EPTP list.",
+				Type: obs.TypeGauge, Samples: []obs.Sample{{Value: capacity}}},
+			{Name: "elisa_slot_backed_total", Help: "Backed slots machine-wide.",
+				Type: obs.TypeGauge, Samples: []obs.Sample{{Value: totalBacked}}},
+		}
+	}
+}
+
+// collectFleet exports a fleet's per-tenant scheduling results: goodput,
+// drop counters, and completion-latency quantiles.
+func collectFleet(f *fleet.Scheduler) obs.Collector {
+	return func() []obs.Metric {
+		submitted := obs.Metric{Name: "elisa_fleet_submitted_total",
+			Help: "Ops submitted per tenant.", Type: obs.TypeCounter}
+		completed := obs.Metric{Name: "elisa_fleet_completed_total",
+			Help: "Ops completed per tenant.", Type: obs.TypeCounter}
+		dropped := obs.Metric{Name: "elisa_fleet_dropped_total",
+			Help: "Ops dropped at the tenant's bounded queue.", Type: obs.TypeCounter}
+		goodput := obs.Metric{Name: "elisa_fleet_goodput_ops",
+			Help: "Completed ops per simulated second, per tenant.", Type: obs.TypeGauge}
+		latency := obs.Metric{Name: "elisa_fleet_latency_ns",
+			Help: "Op completion latency quantiles (queueing included).", Type: obs.TypeGauge}
+		rep := f.Snapshot()
+		for _, tr := range rep.Tenants {
+			labels := map[string]string{"tenant": tr.Name}
+			submitted.Samples = append(submitted.Samples, obs.Sample{Labels: labels, Value: float64(tr.Submitted)})
+			completed.Samples = append(completed.Samples, obs.Sample{Labels: labels, Value: float64(tr.Completed)})
+			dropped.Samples = append(dropped.Samples, obs.Sample{Labels: labels, Value: float64(tr.Dropped)})
+			goodput.Samples = append(goodput.Samples, obs.Sample{Labels: labels, Value: tr.GoodputOPS})
+			latency.Samples = append(latency.Samples,
+				obs.Sample{Labels: map[string]string{"tenant": tr.Name, "q": "p50"}, Value: float64(tr.P50)},
+				obs.Sample{Labels: map[string]string{"tenant": tr.Name, "q": "p99"}, Value: float64(tr.P99)})
+		}
+		return []obs.Metric{submitted, completed, dropped, goodput, latency,
+			{Name: "elisa_fleet_tenants", Help: "Admitted tenants.", Type: obs.TypeGauge,
+				Samples: []obs.Sample{{Value: float64(len(rep.Tenants))}}},
 		}
 	}
 }
