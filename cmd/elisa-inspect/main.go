@@ -15,6 +15,7 @@ import (
 	"github.com/elisa-go/elisa/internal/core"
 	"github.com/elisa-go/elisa/internal/ept"
 	"github.com/elisa-go/elisa/internal/mem"
+	"github.com/elisa-go/elisa/internal/simtime"
 )
 
 func main() {
@@ -22,13 +23,15 @@ func main() {
 	objects := flag.Int("objects", 2, "number of shared objects")
 	slotBudget := flag.Int("slot-budget", 0, "physical EPTP slots per guest (0 = whole list); below -objects, the dump shows virtual-only slots")
 	traceDump := flag.Bool("trace", false, "also dump the slow-path trace buffer and the sampled fast-path span ring")
+	nFaults := flag.Int("faults", 0, "arm a seeded chaos plan with this many faults after the baseline dump, then print the fault/recovery trace (0 = off)")
+	faultSeed := flag.Int64("fault-seed", 42, "seed for the -faults chaos plan; same seed reproduces the same trace")
 	flag.Parse()
-	if err := run(*guests, *objects, *slotBudget, *traceDump); err != nil {
+	if err := run(*guests, *objects, *slotBudget, *traceDump, *nFaults, *faultSeed); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(nGuests, nObjects, slotBudget int, traceDump bool) error {
+func run(nGuests, nObjects, slotBudget int, traceDump bool, nFaults int, faultSeed int64) error {
 	cfg := elisa.Config{SlotBudget: slotBudget}
 	if traceDump {
 		// The forensic view: retain slow-path events and record every
@@ -50,6 +53,7 @@ func run(nGuests, nObjects, slotBudget int, traceDump bool) error {
 		}
 	}
 	vms := make([]*elisa.GuestVM, nGuests)
+	handles := make([][]*elisa.Handle, nGuests)
 	for i := range vms {
 		g, err := sys.NewGuestVM(fmt.Sprintf("tenant-%d", i), 16*elisa.PageSize)
 		if err != nil {
@@ -61,6 +65,7 @@ func run(nGuests, nObjects, slotBudget int, traceDump bool) error {
 			if err != nil {
 				return err
 			}
+			handles[i] = append(handles[i], h)
 			// A few calls so the accounting has something to show.
 			for k := 0; k < (i+1)*(j+2); k++ {
 				if _, err := h.Call(g.VCPU(), 1, uint64(k)); err != nil {
@@ -130,6 +135,12 @@ func run(nGuests, nObjects, slotBudget int, traceDump bool) error {
 	}
 	fmt.Println("\nfsck: bookkeeping consistent with machine state")
 
+	if nFaults > 0 {
+		if err := chaos(sys, vms, handles, nFaults, faultSeed); err != nil {
+			return err
+		}
+	}
+
 	if traceDump {
 		fmt.Printf("\nslow-path trace (%d events emitted, %d retained):\n",
 			sys.Trace().Emitted(), sys.Trace().Len())
@@ -141,6 +152,81 @@ func run(nGuests, nObjects, slotBudget int, traceDump bool) error {
 			fmt.Println(sp)
 		}
 	}
+	return nil
+}
+
+// chaos arms a seeded fault plan against the already-built system, drives
+// calls until the plan drains (or every guest is dead), and prints the
+// deterministic fault/recovery trace. It re-runs Fsck at the end: the
+// whole point of the recovery path is that the machine audits clean after
+// every injected fault.
+func chaos(sys *elisa.System, vms []*elisa.GuestVM, handles [][]*elisa.Handle, nFaults int, faultSeed int64) error {
+	mgr := sys.Manager()
+	names := make([]string, len(vms))
+	for i, g := range vms {
+		names[i] = g.Name()
+	}
+	plan, err := elisa.NewFaultPlan(elisa.FaultPlanConfig{Seed: faultSeed, N: nFaults, Guests: names})
+	if err != nil {
+		return err
+	}
+	inj := sys.ArmFaults(plan)
+	fmt.Printf("\nchaos: %d faults armed (seed %d), driving calls through the plan horizon\n",
+		nFaults, faultSeed)
+
+	// Drive rounds of calls so each guest's virtual clock advances past
+	// the scheduled fault times, pumping async faults and repairing
+	// between rounds — the same cadence the fleet scheduler uses. The
+	// round bound keeps this terminating even if some faults can never
+	// fire (e.g. negotiation faults with nothing left to negotiate).
+	for round := 0; round < 128 && inj.Pending() > 0; round++ {
+		var now simtime.Time
+		alive := 0
+		for i, g := range vms {
+			if g.Dead() {
+				continue
+			}
+			alive++
+			v := g.VCPU()
+			for k := 0; k < 512; k++ {
+				for _, h := range handles[i] {
+					// Injected faults surface as call errors;
+					// that is the event under test, not a
+					// tool failure.
+					_, _ = h.Call(v, 1, uint64(k))
+					if g.Dead() {
+						break
+					}
+				}
+				if g.Dead() {
+					break
+				}
+			}
+			if t := v.Clock().Now(); t > now {
+				now = t
+			}
+		}
+		if alive == 0 {
+			break
+		}
+		mgr.PumpFaults(now)
+		if _, err := mgr.FsckRepair(); err != nil {
+			return err
+		}
+		if _, err := mgr.RecoverDead(); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println("\nfault trace:")
+	fmt.Print(inj.TraceString())
+	rs := sys.RecoveryStats()
+	fmt.Printf("\nrecovery: %d guests quarantined (%d died mid-gate), %d list repairs, %d negotiation retries, %d faults still pending\n",
+		rs.Recoveries, rs.MidGateDeaths, rs.Repairs, rs.Retries, inj.Pending())
+	if err := mgr.Fsck(); err != nil {
+		return fmt.Errorf("FSCK FAILED after chaos: %w", err)
+	}
+	fmt.Println("fsck: clean after fault injection and recovery")
 	return nil
 }
 

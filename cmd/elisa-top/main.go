@@ -53,12 +53,14 @@ func main() {
 	skew := flag.Float64("skew", 1.1, "zipf skew of the key popularity (>1)")
 	readRatio := flag.Float64("reads", 0.9, "fraction of GETs in the mix")
 	errEvery := flag.Int("err-every", 64, "inject one failing call every N ops (0 = never)")
+	faults := flag.Int("faults", 0, "arm a chaos plan with N seeded fault injections (0 = chaos off); the CHAOS column then shows per-guest hits")
+	faultSeed := flag.Int64("fault-seed", 42, "seed of the chaos plan (same seed = same fault trace)")
 	ansi := flag.Bool("ansi", false, "redraw in place with ANSI escapes instead of printing frames sequentially")
 	prom := flag.Bool("prom", false, "dump Prometheus-format metrics at exit")
 	jsonOut := flag.Bool("json", false, "dump JSON metrics at exit")
 	spans := flag.Int("spans", 0, "print the last N sampled call spans at exit")
 	flag.Parse()
-	if err := run(*guests, *objects, *slotBudget, *frames, *interval, *sample, *skew, *readRatio, *errEvery, *ansi, *prom, *jsonOut, *spans); err != nil {
+	if err := run(*guests, *objects, *slotBudget, *frames, *interval, *sample, *skew, *readRatio, *errEvery, *faults, *faultSeed, *ansi, *prom, *jsonOut, *spans); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -74,7 +76,7 @@ type tenant struct {
 	start simtime.Time // frame start on this guest's clock
 }
 
-func run(nGuests, nObjects, slotBudget, frames, intervalMs, sample int, skew, readRatio float64, errEvery int, ansi, prom, jsonOut bool, nSpans int) error {
+func run(nGuests, nObjects, slotBudget, frames, intervalMs, sample int, skew, readRatio float64, errEvery, nFaults int, faultSeed int64, ansi, prom, jsonOut bool, nSpans int) error {
 	if nGuests <= 0 {
 		return fmt.Errorf("need at least one guest")
 	}
@@ -139,6 +141,28 @@ func run(nGuests, nObjects, slotBudget, frames, intervalMs, sample int, skew, re
 		tenants[i] = &tenant{g: g, hs: hs, keys: keys, mix: mix}
 	}
 
+	// Chaos: arm a seeded fault plan across the tenants. Injected faults
+	// hit the gate, negotiation, and EPTP-list paths; between frames the
+	// pump applies async faults, repairs the list, and quarantines any
+	// tenant that died — the CHAOS column tallies the hits.
+	var inj *elisa.FaultInjector
+	if nFaults > 0 {
+		names := make([]string, len(tenants))
+		for i, tn := range tenants {
+			names[i] = tn.g.Name()
+		}
+		plan, err := elisa.NewFaultPlan(elisa.FaultPlanConfig{
+			Seed:    faultSeed,
+			N:       nFaults,
+			Guests:  names,
+			Horizon: simtime.Duration(frames*intervalMs) * simtime.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		inj = sys.ArmFaults(plan)
+	}
+
 	rec := sys.Recorder()
 	interval := simtime.Duration(intervalMs) * simtime.Millisecond
 	prevCalls := make(map[string]uint64) // guest -> calls at frame start
@@ -149,9 +173,12 @@ func run(nGuests, nObjects, slotBudget, frames, intervalMs, sample int, skew, re
 
 	for frame := 1; frame <= frames; frame++ {
 		for _, tn := range tenants {
+			if tn.g.Dead() {
+				continue // crashed in an earlier frame; quarantined below
+			}
 			v := tn.g.VCPU()
 			tn.start = v.Clock().Now()
-			for v.Clock().Elapsed(tn.start) < interval {
+			for !tn.g.Dead() && v.Clock().Elapsed(tn.start) < interval {
 				off := tn.keys.Next() * valBytes
 				fn := uint64(fnPut)
 				if tn.mix.Read() {
@@ -164,14 +191,41 @@ func run(nGuests, nObjects, slotBudget, frames, intervalMs, sample int, skew, re
 				h := tn.hs[tn.rr]
 				tn.rr = (tn.rr + 1) % len(tn.hs)
 				if _, err := h.Call(v, fn, uint64(off)); err != nil && fn != fnBogus {
-					return fmt.Errorf("%s: call: %w", tn.g.Name(), err)
+					if inj == nil {
+						return fmt.Errorf("%s: call: %w", tn.g.Name(), err)
+					}
+					// Chaos armed: injected failures (and the death of
+					// this guest) are the point, not a tool error.
 				}
+			}
+		}
+		if inj != nil {
+			// Pump asynchronous faults up to the furthest guest clock,
+			// repair whatever they scribbled, and quarantine the dead.
+			var now simtime.Time
+			for _, tn := range tenants {
+				if t := tn.g.VCPU().Clock().Now(); t > now {
+					now = t
+				}
+			}
+			mgr.PumpFaults(now)
+			if _, err := mgr.FsckRepair(); err != nil {
+				return err
+			}
+			if _, err := mgr.RecoverDead(); err != nil {
+				return err
 			}
 		}
 		if ansi {
 			fmt.Print("\033[H\033[2J")
 		}
 		renderFrame(os.Stdout, sys, tenants, frame, prevCalls, prevErrs, prevHits, prevMisses, prevFaults)
+	}
+
+	if inj != nil {
+		rs := sys.RecoveryStats()
+		fmt.Printf("\nchaos: %d faults fired (%d pending), %d guests quarantined (%d died mid-gate), %d list repairs, %d retries\n",
+			len(inj.Fired()), inj.Pending(), rs.Recoveries, rs.MidGateDeaths, rs.Repairs, rs.Retries)
 	}
 
 	if nSpans > 0 {
@@ -200,6 +254,14 @@ func run(nGuests, nObjects, slotBudget, frames, intervalMs, sample int, skew, re
 	return nil
 }
 
+// deltaU64 is a saturating subtraction for per-frame counter deltas.
+func deltaU64(cur, prev uint64) uint64 {
+	if cur < prev {
+		return 0
+	}
+	return cur - prev
+}
+
 // renderFrame prints one refresh of the per-tenant table. The delta maps
 // carry per-guest counters from the previous frame so rates are
 // per-interval, not cumulative.
@@ -217,33 +279,47 @@ func renderFrame(out *os.File, sys *elisa.System, tenants []*tenant, frame int,
 	for _, ss := range sys.SlotStats() {
 		slots[ss.Guest] = ss
 	}
+	var chaosHits map[string]uint64
+	if inj := sys.Injector(); inj != nil {
+		chaosHits = inj.FiredByGuest()
+	}
 	tb := stats.NewTable(fmt.Sprintf("elisa-top frame %d", frame),
-		"GUEST", "OBJS", "CALLS", "CALLS/S", "ERRS", "P50[ns]", "P99[ns]", "SLOTS", "REMAP/S", "TLB-MISS%")
+		"GUEST", "OBJS", "CALLS", "CALLS/S", "ERRS", "P50[ns]", "P99[ns]", "SLOTS", "REMAP/S", "TLB-MISS%", "CHAOS")
 	for _, tn := range tenants {
 		name := tn.g.Name()
 		acct := byGuest[name]
 		st := tn.g.Stats()
 		ss := slots[name]
-		dCalls := acct.calls - prevCalls[name]
-		dErrs := acct.errs - prevErrs[name]
-		dHits := st.TLBHits - prevHits[name]
-		dMisses := st.TLBMisses - prevMisses[name]
-		dFaults := ss.Faults - prevFaults[name]
+		// Clamp at zero: quarantining a crashed guest frees its
+		// attachments, so cumulative counters can drop below the
+		// previous frame's snapshot.
+		dCalls := deltaU64(acct.calls, prevCalls[name])
+		dErrs := deltaU64(acct.errs, prevErrs[name])
+		dHits := deltaU64(st.TLBHits, prevHits[name])
+		dMisses := deltaU64(st.TLBMisses, prevMisses[name])
+		dFaults := deltaU64(ss.Faults, prevFaults[name])
 		elapsed := tn.g.VCPU().Clock().Elapsed(tn.start)
 		h := rec.GuestHistogram(name)
 		missPct := 0.0
 		if dHits+dMisses > 0 {
 			missPct = 100 * float64(dMisses) / float64(dHits+dMisses)
 		}
+		chaos := "-"
+		if chaosHits != nil {
+			chaos = fmt.Sprintf("%d", chaosHits[name])
+			if tn.g.Dead() {
+				chaos += " DEAD"
+			}
+		}
 		tb.AddRow(name, len(tn.hs), dCalls, stats.Throughput(int64(dCalls), elapsed),
 			dErrs, h.Percentile(0.50), h.Percentile(0.99),
 			fmt.Sprintf("%d/%d", ss.Backed, ss.Budget),
-			stats.Throughput(int64(dFaults), elapsed), missPct)
+			stats.Throughput(int64(dFaults), elapsed), missPct, chaos)
 		prevCalls[name], prevErrs[name] = acct.calls, acct.errs
 		prevHits[name], prevMisses[name] = st.TLBHits, st.TLBMisses
 		prevFaults[name] = ss.Faults
 	}
-	tb.AddNote("latency percentiles are cumulative over the run; rates are per-frame; SLOTS is backed/budget physical EPTP slots, REMAP/S the HCSlotFault re-bind rate")
+	tb.AddNote("latency percentiles are cumulative over the run; rates are per-frame; SLOTS is backed/budget physical EPTP slots, REMAP/S the HCSlotFault re-bind rate; CHAOS is injected faults landed on the guest (-faults)")
 	fmt.Fprint(out, tb.String())
 	fmt.Fprintln(out)
 }

@@ -35,6 +35,7 @@ import (
 	"github.com/elisa-go/elisa/internal/core"
 	"github.com/elisa-go/elisa/internal/cpu"
 	"github.com/elisa-go/elisa/internal/ept"
+	"github.com/elisa-go/elisa/internal/fault"
 	"github.com/elisa-go/elisa/internal/fleet"
 	"github.com/elisa-go/elisa/internal/hv"
 	"github.com/elisa-go/elisa/internal/mem"
@@ -98,7 +99,34 @@ type (
 	// SlotStats is a guest's slot-virtualisation accounting
 	// (Manager.SlotStats).
 	SlotStats = core.SlotStats
+	// FaultPlan is a seeded, fully materialised fault schedule
+	// (System.ArmFaults, FleetConfig.Faults).
+	FaultPlan = fault.Plan
+	// FaultPlanConfig shapes NewFaultPlan's generated schedule.
+	FaultPlanConfig = fault.PlanConfig
+	// FaultClass enumerates the injectable fault classes.
+	FaultClass = fault.Class
+	// FaultInjector hands a plan's armed injections to the manager's hook
+	// points and records the deterministic fault/recovery trace.
+	FaultInjector = fault.Injector
+	// RecoveryStats is the manager's recovery-side counter snapshot.
+	RecoveryStats = core.RecoveryStats
 )
+
+// The injectable fault classes (see package fault for the fault model).
+const (
+	FaultCrashMidGate     = fault.ClassCrashMidGate
+	FaultNegotiateFail    = fault.ClassNegotiateFail
+	FaultNegotiateTimeout = fault.ClassNegotiateTimeout
+	FaultEPTPCorrupt      = fault.ClassEPTPCorrupt
+	FaultSlotStorm        = fault.ClassSlotStorm
+	FaultRevokeRace       = fault.ClassRevokeRace
+)
+
+// NewFaultPlan expands a config into a deterministic fault schedule: the
+// same (seed, config) always yields the same plan, and replaying it on the
+// deterministic machine yields the identical fault trace.
+func NewFaultPlan(cfg FaultPlanConfig) (*FaultPlan, error) { return fault.NewPlan(cfg) }
 
 // Permission bits for grants.
 const (
@@ -213,6 +241,29 @@ func (s *System) NewFleet(cfg FleetConfig) (*Fleet, error) {
 // SlotStats returns the per-guest slot-virtualisation accounting (budget,
 // backed, faults, evictions), ordered by guest name.
 func (s *System) SlotStats() []SlotStats { return s.mgr.SlotStats() }
+
+// ArmFaults arms a fault plan on the manager's hook points and returns
+// the injector (nil plan disarms chaos). While armed, the fault classes of
+// the plan fire at their scheduled virtual times; drive recovery with
+// Manager().PumpFaults / FsckRepair / RecoverDead, or let a fleet built
+// with FleetConfig.Faults do all of it. An armed but never-firing injector
+// leaves the hot path at exactly the calibrated 196 ns.
+func (s *System) ArmFaults(p *FaultPlan) *FaultInjector {
+	if p == nil {
+		s.mgr.SetInjector(nil)
+		return nil
+	}
+	inj := fault.NewInjector(p)
+	s.mgr.SetInjector(inj)
+	return inj
+}
+
+// Injector returns the armed fault injector (nil when chaos is off).
+func (s *System) Injector() *FaultInjector { return s.mgr.Injector() }
+
+// RecoveryStats returns the manager's recovery counters: quarantines,
+// mid-gate deaths, Fsck repairs, negotiation retries.
+func (s *System) RecoveryStats() RecoveryStats { return s.mgr.RecoveryStats() }
 
 // GuestVM is a guest with the ELISA library initialised.
 type GuestVM struct {

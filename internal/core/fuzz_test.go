@@ -1,0 +1,135 @@
+package core
+
+// Native fuzz targets for the negotiation and gate boundaries — the two
+// places guest-controlled values cross into the manager. The invariants
+// fuzzed here are the protocol's safety floor: hostile arguments may be
+// refused, but they must never panic the manager, never kill the guest
+// through a negotiation hypercall, and never leave the bookkeeping in a
+// state Fsck rejects.
+
+import (
+	"testing"
+
+	"github.com/elisa-go/elisa/internal/mem"
+)
+
+// FuzzNegotiate throws arbitrary arguments at the three negotiation
+// hypercalls (HCAttach, HCDetach, HCSlotFault), both through the guest
+// library's polite path and as raw VMCALLs with unchecked GPAs, lengths,
+// and slot numbers.
+func FuzzNegotiate(f *testing.F) {
+	f.Add("fz-obj", uint64(0x1000), uint64(0x1200), uint64(2))
+	f.Add("", uint64(0), uint64(0), uint64(0))
+	f.Add("fz-obj", ^uint64(0), ^uint64(0)-7, uint64(511))
+	f.Add("no-such-object", uint64(4096), uint64(1<<40), uint64(4096))
+	f.Fuzz(func(t *testing.T, name string, gpa, respGPA, vslot uint64) {
+		fx := newFixture(t)
+		if _, err := fx.mgr.CreateObject("fz-obj", mem.PageSize); err != nil {
+			t.Fatal(err)
+		}
+		vm, g := fx.newGuest(t, "fz-guest")
+		v := vm.VCPU()
+
+		// A known-good attachment first, so the abuse below runs against
+		// live state, not an empty manager.
+		h, err := g.Attach("fz-obj")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Call(v, fnNop); err != nil {
+			t.Fatal(err)
+		}
+
+		// The polite path with a hostile name (length caps, staging).
+		if h2, err := g.Attach(name); err == nil && h2 == nil {
+			t.Fatal("Attach returned nil handle without error")
+		}
+
+		// Raw negotiation with unchecked arguments. Every call may fail;
+		// none may kill the guest or panic.
+		_, _ = v.VMCall(HCAttach, gpa, uint64(len(name)), respGPA)
+		_, _ = v.VMCall(HCAttach, gpa, respGPA, vslot)
+		_, _ = v.VMCall(HCSlotFault, vslot)
+		_, _ = v.VMCall(HCDetach, gpa, uint64(len(name)))
+
+		if vm.Dead() {
+			t.Fatalf("negotiation hypercalls killed the guest (name=%q gpa=%#x resp=%#x vslot=%d)",
+				name, gpa, respGPA, vslot)
+		}
+		if k := fx.hv.KilledVMs(); k != 0 {
+			t.Fatalf("%d protocol kills from negotiation fuzzing", k)
+		}
+		// The machine still audits clean and still works. The raw calls
+		// may have legitimately detached or re-attached objects; what a
+		// surviving handle must never do is return a wrong answer.
+		if err := fx.mgr.Fsck(); err != nil {
+			t.Fatal(err)
+		}
+		if ret, err := h.Call(v, fnNop); err == nil && ret != 0 {
+			t.Fatalf("post-abuse nop returned %d", ret)
+		}
+		if err := fx.mgr.Fsck(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzGateEntry fuzzes the gate's admission check — the grant-table
+// lookup standing between a VMFUNC and a sub context — plus a real call
+// carrying an arbitrary function ID. The gate must admit exactly the one
+// live (vslot, phys) binding and refuse everything else; an arbitrary
+// function ID must be dispatched or refused cleanly, never kill.
+func FuzzGateEntry(f *testing.F) {
+	f.Add(uint64(2), uint64(2), uint64(1), uint64(7))
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(1), uint64(511), uint64(99999), ^uint64(0))
+	f.Add(^uint64(0), uint64(2), uint64(4), uint64(1))
+	f.Fuzz(func(t *testing.T, vs, ph, fnID, arg uint64) {
+		fx := newFixture(t)
+		if _, err := fx.mgr.CreateObject("fz-gate", mem.PageSize); err != nil {
+			t.Fatal(err)
+		}
+		vm, g := fx.newGuest(t, "fz-g0")
+		h, err := g.Attach("fz-gate")
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := vm.VCPU()
+		if _, err := h.Call(v, fnNop); err != nil { // back the slot
+			t.Fatal(err)
+		}
+		a, ok := fx.mgr.Attachment(vm, "fz-gate")
+		if !ok {
+			t.Fatal("attachment vanished")
+		}
+		realV, realP := a.SubIndex(), a.PhysIndex()
+
+		// Admission is exact: any (vslot, phys) pair other than the live
+		// binding — including negatives via wraparound — is refused.
+		vsI, phI := int(int32(uint32(vs))), int(int32(uint32(ph)))
+		if fx.mgr.gateAllowsBinding(vm.ID(), vsI, phI) && !(vsI == realV && phI == realP) {
+			t.Fatalf("gate admitted bogus binding vslot=%d phys=%d (live binding %d/%d)",
+				vsI, phI, realV, realP)
+		}
+		// The right binding presented by the wrong VM is refused too.
+		if fx.mgr.gateAllowsBinding(vm.ID()+1000, realV, realP) {
+			t.Fatal("gate admitted another VM's binding")
+		}
+
+		// A real call with an arbitrary function ID. The two fixture
+		// functions that deliberately violate the sub context (and are
+		// killed for it by design) are remapped; everything else —
+		// including unknown IDs — must complete or refuse cleanly.
+		fid := fnID
+		if fid == fnTouchGuestRAM || fid == fnOverrun {
+			fid = fnNop
+		}
+		_, callErr := h.Call(v, fid, arg)
+		if vm.Dead() {
+			t.Fatalf("call fn=%d killed the guest: %v", fid, callErr)
+		}
+		if err := fx.mgr.Fsck(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

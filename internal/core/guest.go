@@ -5,11 +5,13 @@ import (
 	"fmt"
 
 	"github.com/elisa-go/elisa/internal/cpu"
+	"github.com/elisa-go/elisa/internal/fault"
 	"github.com/elisa-go/elisa/internal/gpt"
 	"github.com/elisa-go/elisa/internal/hv"
 	"github.com/elisa-go/elisa/internal/mem"
 	"github.com/elisa-go/elisa/internal/obs"
 	"github.com/elisa-go/elisa/internal/simtime"
+	"github.com/elisa-go/elisa/internal/trace"
 )
 
 // Guest is the guest-side ELISA library for one VM: it performs the
@@ -85,37 +87,75 @@ func (h *Handle) SubIndex() int { return h.subIdx }
 //   - stale "hit": the slot was revoked/detached or never existed. The
 //     walk proceeds and the gate's grant check refuses it — the same
 //     clean, kill-free refusal stale handles always got.
-func (m *Manager) resolveSlot(vmID, vslot int) (phys int, hit bool) {
+func (m *Manager) resolveSlot(vmID, vslot int) (phys int, hit bool, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	gs, ok := m.guests[vmID]
 	if !ok {
-		return IdxDefault, true // stale: no ELISA state; gate refuses
+		return IdxDefault, true, nil // stale: no ELISA state; gate refuses
+	}
+	// Service pending revocations first: this runs on the guest's own
+	// vCPU, the only place its TLB entries and dying sub contexts may be
+	// torn down (the simulated analogue of handling the shootdown IPI).
+	if len(gs.pendingReap) > 0 {
+		if err := m.reapLocked(gs); err != nil {
+			return 0, false, err
+		}
 	}
 	a := gs.vslots[vslot]
 	if a == nil || a.revoked {
-		return IdxDefault, true // stale: gate refuses at the grant check
+		return IdxDefault, true, nil // stale: gate refuses at the grant check
 	}
 	if a.phys == physNone {
-		return 0, false // live but unbacked: slot fault required
+		return 0, false, nil // live but unbacked: slot fault required
 	}
 	m.lruTick++
 	a.lastUse = m.lruTick
-	return a.phys, true
+	return a.phys, true, nil
+}
+
+// reapLocked completes the deferred half of revocation for every pending
+// attachment: TLB entries invalidated, sub context destroyed, its frames
+// back in the allocator. Callers hold m.mu and must be on the guest's own
+// execution path — or past its death (RecoverGuest, CleanupGuest).
+func (m *Manager) reapLocked(gs *guestState) error {
+	tlb := gs.vm.VCPU().TLB()
+	for _, a := range gs.pendingReap {
+		tlb.InvalidateContext(a.subCtx.Pointer())
+		if err := a.subCtx.Destroy(); err != nil {
+			return fmt.Errorf("core: reaping %q/%q: %w", gs.vm.Name(), a.obj.name, err)
+		}
+	}
+	gs.pendingReap = nil
+	return nil
 }
 
 // ensureBacked resolves the handle's virtual slot to a physical slot,
 // taking the HCSlotFault slow path on a miss. It runs as guest code on v.
+// Transient (injected) negotiation failures are retried with exponential
+// backoff, bounded by fault.MaxRetries; the backoff is charged to the
+// guest's clock, so chaos costs virtual time, never correctness.
 func (h *Handle) ensureBacked(v *cpu.VCPU) (int, error) {
-	phys, hit := h.g.mgr.resolveSlot(h.g.vm.ID(), h.subIdx)
+	phys, hit, err := h.g.mgr.resolveSlot(h.g.vm.ID(), h.subIdx)
+	if err != nil {
+		return 0, err
+	}
 	if hit {
 		return phys, nil
 	}
-	r, err := v.VMCall(HCSlotFault, uint64(h.subIdx))
-	if err != nil {
-		return 0, fmt.Errorf("core: slot fault on %q vslot %d: %w", h.objName, h.subIdx, err)
+	for attempt := 0; ; attempt++ {
+		var r uint64
+		r, err = v.VMCall(HCSlotFault, uint64(h.subIdx))
+		if err == nil {
+			return int(r), nil
+		}
+		if !fault.IsTransient(err) || attempt >= fault.MaxRetries {
+			break
+		}
+		v.Charge(fault.Backoff(attempt))
+		h.g.mgr.noteRetry()
 	}
-	return int(r), nil
+	return 0, fmt.Errorf("core: slot fault on %q vslot %d: %w", h.objName, h.subIdx, err)
 }
 
 // Attach negotiates access to a named shared object. This is the slow
@@ -132,11 +172,22 @@ func (g *Guest) Attach(objName string) (*Handle, error) {
 	respGPA := g.scratch + 512
 
 	// Stage the request in guest RAM and issue the negotiation hypercall.
+	// Transient (injected) failures retry with bounded backoff, like the
+	// real library re-issuing a negotiation the manager shed under load.
 	if err := v.WriteGPA(g.scratch, []byte(objName)); err != nil {
 		return nil, err
 	}
-	if _, err := v.VMCall(HCAttach, uint64(g.scratch), uint64(len(objName)), uint64(respGPA)); err != nil {
-		return nil, fmt.Errorf("core: attach %q: %w", objName, err)
+	var callErr error
+	for attempt := 0; ; attempt++ {
+		_, callErr = v.VMCall(HCAttach, uint64(g.scratch), uint64(len(objName)), uint64(respGPA))
+		if callErr == nil {
+			break
+		}
+		if !fault.IsTransient(callErr) || attempt >= fault.MaxRetries {
+			return nil, fmt.Errorf("core: attach %q: %w", objName, callErr)
+		}
+		v.Charge(fault.Backoff(attempt))
+		g.mgr.noteRetry()
 	}
 	resp := make([]byte, attachRespBytes)
 	if err := v.ReadGPA(respGPA, resp); err != nil {
@@ -271,6 +322,17 @@ func (h *Handle) Call(v *cpu.VCPU, fnID uint64, args ...uint64) (uint64, error) 
 		tSub = v.Clock().Now()
 	}
 
+	// Fault injection: a guest that dies right here — inside the sub
+	// context, registers spilled on the gate stack — is the worst place to
+	// die. The manager notices via the gate-path epochs (entries > exits)
+	// and RecoverGuest reclaims. One nil check when chaos is off.
+	if inj := mgr.inj; inj != nil {
+		if in := inj.Fire(fault.PointGateEntry, h.g.vm.Name(), v.Clock().Now()); in != nil {
+			mgr.crashMidGate(h.g.vm, in)
+			return 0, fmt.Errorf("core: guest %q died in sub context: %w", h.g.vm.Name(), fault.ErrInjected)
+		}
+	}
+
 	// --- in the sub context: run the manager function ---
 	ret, fnErr := mgr.invoke(v, h, fnID, args, exchp)
 	if v.Dead() {
@@ -299,6 +361,7 @@ func (h *Handle) Call(v *cpu.VCPU, fnID uint64, args ...uint64) (uint64, error) 
 	if err := v.FetchExec(h.gateGVA); err != nil { // epilogue + ret
 		return 0, err
 	}
+	mgr.noteGateExit(h.g.vm.ID())
 	if rec != nil {
 		h.recordSpan(rec, fnID, 1, fnErr != nil, t0, tGate, tSub, tFn, v.Clock().Now(), exchange)
 	}
@@ -359,8 +422,17 @@ func (m *Manager) gateAllowsBinding(vmID, vslot, phys int) bool {
 		return false
 	}
 	a := gs.vslots[vslot]
-	return a != nil && !a.revoked && phys >= firstSubIdx &&
+	admit := a != nil && !a.revoked && phys >= firstSubIdx &&
 		a.phys == phys && gs.physAtt[phys] == a && gs.granted[phys]
+	if admit {
+		// Gate-path epoch: one admitted inbound crossing. The matching
+		// gateExits bump happens after the outbound crossing; a guest that
+		// dies in between leaves entries > exits — the mid-gate-death
+		// signal RecoverGuest keys on. Refused crossings never enter, so
+		// they do not count.
+		gs.gateEntries++
+	}
+	return admit
 }
 
 // invoke dispatches a manager function while the vCPU is in the sub
@@ -378,6 +450,21 @@ func (m *Manager) invoke(v *cpu.VCPU, h *Handle, fnID uint64, args []uint64, exc
 	var a *Attachment
 	if gs != nil {
 		a = gs.attachments[h.objName]
+	}
+	if a != nil && !a.revoked && m.inj != nil {
+		if in := m.inj.Fire(fault.PointInvoke, h.g.vm.Name(), v.Clock().Now()); in != nil {
+			// A revocation racing the in-flight call: the grant is
+			// withdrawn under the call's feet, right between the gate's
+			// check and the dispatch. The sub context itself stays alive —
+			// the vCPU is executing in it and must walk back out through
+			// the gate — so only the grant and slot backing go away; the
+			// check below then refuses the dispatch cleanly.
+			m.hv.Trace().Emit(v.Clock().Now(), h.g.vm.Name(), trace.KindInject,
+				"%s: object %q vslot %d revoked mid-call", in.Class, h.objName, a.vslot)
+			a.revoked = true
+			_ = m.unbindLocked(gs, a)
+			gs.pendingReap = append(gs.pendingReap, a)
+		}
 	}
 	if a == nil || a.revoked {
 		m.mu.Unlock()
@@ -484,6 +571,15 @@ func (h *Handle) CallMulti(v *cpu.VCPU, reqs []Req) error {
 		tSub = v.Clock().Now()
 	}
 
+	// Fault injection (see Call): crash-mid-gate fires here too, before
+	// any request of the batch runs.
+	if inj := mgr.inj; inj != nil {
+		if in := inj.Fire(fault.PointGateEntry, h.g.vm.Name(), v.Clock().Now()); in != nil {
+			mgr.crashMidGate(h.g.vm, in)
+			return fmt.Errorf("core: guest %q died in sub context: %w", h.g.vm.Name(), fault.ErrInjected)
+		}
+	}
+
 	// Run the whole batch inside the sub context.
 	anyErr := false
 	for i := range reqs {
@@ -525,6 +621,7 @@ func (h *Handle) CallMulti(v *cpu.VCPU, reqs []Req) error {
 	if err := v.FetchExec(h.gateGVA); err != nil {
 		return err
 	}
+	mgr.noteGateExit(h.g.vm.ID())
 	if rec != nil {
 		h.recordSpan(rec, reqs[0].Fn, len(reqs), anyErr, t0, tGate, tSub, tFn, v.Clock().Now(), exchange)
 	}

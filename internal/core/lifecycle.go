@@ -23,6 +23,11 @@ func (m *Manager) CleanupGuest(guest *hv.VM) error {
 		return fmt.Errorf("core: guest %q has no ELISA state", guest.Name())
 	}
 	tlb := guest.VCPU().TLB()
+	// Revocations the guest never serviced: destroy their contexts first;
+	// the release loop below skips revoked attachments.
+	if err := m.reapLocked(gs); err != nil {
+		return err
+	}
 	release := func(a *Attachment) error {
 		if !a.revoked {
 			a.revoked = true

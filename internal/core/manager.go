@@ -7,6 +7,7 @@ import (
 
 	"github.com/elisa-go/elisa/internal/cpu"
 	"github.com/elisa-go/elisa/internal/ept"
+	"github.com/elisa-go/elisa/internal/fault"
 	"github.com/elisa-go/elisa/internal/hv"
 	"github.com/elisa-go/elisa/internal/mem"
 	"github.com/elisa-go/elisa/internal/obs"
@@ -145,6 +146,17 @@ type Manager struct {
 	// report spans to. Nil means observability is off and the hot path
 	// pays exactly one pointer comparison.
 	rec *obs.Recorder
+
+	// inj, when non-nil, is the armed fault injector. Like the recorder
+	// it costs the hot path exactly one nil check when chaos is off, and
+	// it never charges simulated time of its own.
+	inj *fault.Injector
+
+	// recovery-side accounting (see RecoveryStats).
+	recoveries    uint64 // RecoverGuest completions
+	midGateDeaths uint64 // recovered guests that died inside gate/sub ctx
+	repairs       uint64 // FsckRepair fixes applied
+	retries       uint64 // guest-side negotiation retries after transient faults
 }
 
 // SetRecorder attaches (or, with nil, detaches) the fast-path flight
@@ -154,6 +166,14 @@ func (m *Manager) SetRecorder(r *obs.Recorder) { m.rec = r }
 
 // Recorder returns the attached flight recorder (nil when off).
 func (m *Manager) Recorder() *obs.Recorder { return m.rec }
+
+// SetInjector arms (or, with nil, disarms) a fault injector on the
+// manager's hook points. Injection checks read clocks but never charge
+// them, so with no fault due the hot path still costs exactly 196 ns.
+func (m *Manager) SetInjector(inj *fault.Injector) { m.inj = inj }
+
+// Injector returns the armed fault injector (nil when chaos is off).
+func (m *Manager) Injector() *fault.Injector { return m.inj }
 
 // guestState is the manager's per-guest bookkeeping.
 type guestState struct {
@@ -183,9 +203,26 @@ type guestState struct {
 	granted     map[int]bool
 	retired     []*Attachment
 
+	// pendingReap holds revoked attachments whose sub context and TLB
+	// entries still await teardown. Revocation is split in two because the
+	// revoker may be on a different goroutine than the guest's vCPU: the
+	// logical half (revoked flag, list entry, grant) happens immediately
+	// under m.mu, while destroying the context and invalidating the TLB
+	// must run on the vCPU's own execution path — the moral equivalent of
+	// the TLB-shootdown IPI — and is drained by resolveSlot on the
+	// guest's next call (or by RecoverGuest/CleanupGuest post-mortem).
+	pendingReap []*Attachment
+
 	// slow-path accounting (see Manager.SlotStats)
 	faults    uint64
 	evictions uint64
+
+	// Gate-path epochs. gateEntries is bumped when the gate admits an
+	// inbound crossing (gateAllowsBinding returns true); gateExits when the
+	// outbound crossing completes. A dead guest with entries > exits died
+	// inside a gate or sub context — the signal RecoverGuest keys on.
+	gateEntries uint64
+	gateExits   uint64
 }
 
 // Attachment is one (guest, object) grant: a sub EPT context plus its
@@ -480,14 +517,15 @@ func (m *Manager) Revoke(guest *hv.VM, objName string) error {
 	if err := m.unbindLocked(gs, a); err != nil {
 		return err
 	}
-	m.hv.Trace().Emit(guest.VCPU().Clock().Now(), guest.Name(), trace.KindRevoke,
+	// The manager's clock, not the guest's: Revoke may race the guest's
+	// own execution, and the guest clock belongs to its goroutine.
+	m.hv.Trace().Emit(m.vm.VCPU().Clock().Now(), guest.Name(), trace.KindRevoke,
 		"object %q vslot %d", objName, a.vslot)
-	// Drop cached translations for the dying context before its table
-	// frames are recycled.
-	guest.VCPU().TLB().InvalidateContext(a.subCtx.Pointer())
-	if err := a.subCtx.Destroy(); err != nil {
-		return err
-	}
+	// The list entry and grant are gone (the gate refuses the slot from
+	// this instant), but the context teardown is deferred to the guest's
+	// own vCPU: it may be executing in the sub context right now, and its
+	// TLB can only be shot down from its own execution path.
+	gs.pendingReap = append(gs.pendingReap, a)
 	return nil
 }
 

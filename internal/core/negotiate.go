@@ -54,6 +54,11 @@ func (m *Manager) readName(vm *hv.VM, gpa, n uint64) (string, error) {
 func (m *Manager) hcAttach(vm *hv.VM, args [4]uint64) (uint64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	// Fault injection: a negotiation the manager sheds (fail) or loses
+	// (timeout). The guest library retries with bounded backoff.
+	if err := m.fireNegotiate(vm, "attach"); err != nil {
+		return 0, err
+	}
 	name, err := m.readName(vm, args[0], args[1])
 	if err != nil {
 		return 0, err
@@ -126,6 +131,11 @@ func (m *Manager) hcDetach(vm *hv.VM, args [4]uint64) (uint64, error) {
 func (m *Manager) hcSlotFault(vm *hv.VM, args [4]uint64) (uint64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	// Fault injection: the re-binding negotiation can be shed too; the
+	// gate code's fault loop (ensureBacked) retries it.
+	if err := m.fireNegotiate(vm, "slot-fault"); err != nil {
+		return 0, err
+	}
 	gs, ok := m.guests[vm.ID()]
 	if !ok {
 		return 0, fmt.Errorf("core: guest %q has no ELISA state", vm.Name())

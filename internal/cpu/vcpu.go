@@ -235,6 +235,12 @@ func (v *VCPU) EPTP() ept.Pointer { return v.vmcs.EPTP }
 // Dead reports whether the hypervisor has killed this vCPU.
 func (v *VCPU) Dead() bool { return v.dead }
 
+// Kill marks the vCPU dead without raising an exit: the hypervisor uses
+// it to model a guest crash (panic, triple fault, fault injection) as
+// opposed to a protocol kill adjudicated through HandleExit. Every
+// subsequent guest operation fails with a "vcpu is dead" error.
+func (v *VCPU) Kill() { v.dead = true }
+
 // Stats returns event counts; TLB numbers are refreshed from the cache.
 func (v *VCPU) Stats() Stats {
 	s := v.stats

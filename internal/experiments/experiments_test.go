@@ -12,7 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig_net_rx", "fig_net_tx", "fig_net_vv",
 		"fig_memcached",
 		"ablation_batch", "ablation_callmulti", "ablation_contexts", "ablation_negotiation", "ablation_tlb",
-		"ext_consolidation", "ext_fleet_scaling", "ext_hugepages", "ext_memory",
+		"ext_consolidation", "ext_fault_recovery", "ext_fleet_scaling", "ext_hugepages", "ext_memory",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/elisa-go/elisa/internal/core"
+	"github.com/elisa-go/elisa/internal/fault"
+	"github.com/elisa-go/elisa/internal/hv"
+	"github.com/elisa-go/elisa/internal/mem"
+	"github.com/elisa-go/elisa/internal/simtime"
+	"github.com/elisa-go/elisa/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ext_fault_recovery",
+		Title: "Extension: fault injection — recovery latency and blast radius per fault class",
+		Paper: "extension past the paper: ELISA's safety argument (a failing guest never takes down the manager or other tenants) made quantitative — each injected fault class is recovered in bounded virtual time while a bystander's hot call still costs exactly 196ns",
+		Run:   runFaultRecovery,
+	})
+}
+
+const frFn uint64 = 40
+
+// frPumpEvery is the recovery sweep cadence the scenario driver models
+// (matching the fleet scheduler's default of one sweep per quantum).
+const frPumpEvery = 10 * simtime.Microsecond
+
+// faultRig is one fresh machine per fault class: a victim the plan
+// targets and a bystander whose hot path must not move.
+type faultRig struct {
+	h  *hv.Hypervisor
+	m  *core.Manager
+	vm *hv.VM
+	vg *core.Guest
+	bm *hv.VM
+	bh *core.Handle
+}
+
+func newFaultRig() (*faultRig, error) {
+	h, err := hv.New(hv.Config{PhysBytes: 64 * 1024 * 1024})
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.NewManager(h, core.ManagerConfig{SlotBudget: 4})
+	if err != nil {
+		return nil, err
+	}
+	if err := m.RegisterFunc(frFn, func(*core.CallContext) (uint64, error) { return 0, nil }); err != nil {
+		return nil, err
+	}
+	for _, name := range []string{"fr-a", "fr-b"} {
+		if _, err := m.CreateObject(name, mem.PageSize); err != nil {
+			return nil, err
+		}
+	}
+	rig := &faultRig{h: h, m: m}
+	if rig.vm, err = h.CreateVM("fr-victim", 16*mem.PageSize); err != nil {
+		return nil, err
+	}
+	if rig.vg, err = core.NewGuest(rig.vm, m); err != nil {
+		return nil, err
+	}
+	if rig.bm, err = h.CreateVM("fr-bystander", 16*mem.PageSize); err != nil {
+		return nil, err
+	}
+	bg, err := core.NewGuest(rig.bm, m)
+	if err != nil {
+		return nil, err
+	}
+	if rig.bh, err = bg.Attach("fr-a"); err != nil {
+		return nil, err
+	}
+	for i := 0; i < 2; i++ { // back the bystander's slot, warm its TLB
+		if _, err := rig.bh.Call(rig.bm.VCPU(), frFn); err != nil {
+			return nil, err
+		}
+	}
+	return rig, nil
+}
+
+// arm installs a single-class plan aimed at the victim, due at t=1ns.
+func (r *faultRig) arm(cls fault.Class) error {
+	plan, err := fault.NewPlan(fault.PlanConfig{
+		Seed:    7,
+		N:       1,
+		Horizon: 1,
+		Classes: []fault.Class{cls},
+		Guests:  []string{"fr-victim"},
+	})
+	if err != nil {
+		return err
+	}
+	r.m.SetInjector(fault.NewInjector(plan))
+	return nil
+}
+
+// nextTick is the first recovery-sweep instant after t.
+func nextTick(t simtime.Time) simtime.Time {
+	cad := int64(frPumpEvery)
+	return simtime.Time((int64(t)/cad + 1) * cad)
+}
+
+// runFaultClass injects one fault of the given class into the victim and
+// measures how the system gets back to steady state. The latency
+// definition is per class (see the table notes); the bystander's warm
+// call after recovery is the blast-radius check.
+func runFaultClass(cls fault.Class) (recovered string, latency simtime.Duration, bystander simtime.Duration, err error) {
+	rig, err := newFaultRig()
+	if err != nil {
+		return "", 0, 0, err
+	}
+	m, vv := rig.m, rig.vm.VCPU()
+	hot := rig.h.Cost().ELISARoundTrip()
+
+	switch cls {
+	case fault.ClassCrashMidGate:
+		vh, aerr := rig.vg.Attach("fr-a")
+		if aerr != nil {
+			return "", 0, 0, aerr
+		}
+		if err := rig.arm(cls); err != nil {
+			return "", 0, 0, err
+		}
+		if _, cerr := vh.Call(vv, frFn); cerr == nil || !rig.vm.Dead() {
+			return "", 0, 0, fmt.Errorf("crash-mid-gate did not kill the victim (err=%v)", cerr)
+		}
+		death := vv.Clock().Now()
+		at := nextTick(death)
+		m.PumpFaults(at)
+		n, rerr := m.RecoverDead()
+		if rerr != nil {
+			return "", 0, 0, rerr
+		}
+		if n != 1 || m.RecoveryStats().MidGateDeaths != 1 {
+			return "", 0, 0, fmt.Errorf("quarantine: recovered %d, mid-gate deaths %d", n, m.RecoveryStats().MidGateDeaths)
+		}
+		recovered, latency = "gate-epoch quarantine", simtime.Duration(at-death)
+
+	case fault.ClassNegotiateFail, fault.ClassNegotiateTimeout:
+		t0 := vv.Clock().Now()
+		if _, aerr := rig.vg.Attach("fr-a"); aerr != nil {
+			return "", 0, 0, aerr
+		}
+		clean := vv.Clock().Elapsed(t0)
+		if err := rig.arm(cls); err != nil {
+			return "", 0, 0, err
+		}
+		t1 := vv.Clock().Now()
+		if _, aerr := rig.vg.Attach("fr-b"); aerr != nil {
+			return "", 0, 0, fmt.Errorf("attach did not survive the %s storm: %w", cls, aerr)
+		}
+		stormy := vv.Clock().Elapsed(t1)
+		if got := m.RecoveryStats().Retries; got != 3 {
+			return "", 0, 0, fmt.Errorf("storm of 3 should cost 3 retries, got %d", got)
+		}
+		recovered, latency = "bounded retry-with-backoff", stormy-clean
+		if cls == fault.ClassNegotiateTimeout {
+			recovered = "retry after negotiation timeout"
+		}
+
+	case fault.ClassEPTPCorrupt:
+		vh, aerr := rig.vg.Attach("fr-a")
+		if aerr != nil {
+			return "", 0, 0, aerr
+		}
+		if _, cerr := vh.Call(vv, frFn); cerr != nil {
+			return "", 0, 0, cerr
+		}
+		if err := rig.arm(cls); err != nil {
+			return "", 0, 0, err
+		}
+		at := nextTick(vv.Clock().Now())
+		if applied := m.PumpFaults(at); applied != 1 {
+			return "", 0, 0, fmt.Errorf("corruption not applied (%d)", applied)
+		}
+		repaired, rerr := m.FsckRepair()
+		if rerr != nil {
+			return "", 0, 0, rerr
+		}
+		if repaired < 1 {
+			return "", 0, 0, fmt.Errorf("scribbled list entry not repaired")
+		}
+		// Due at t=1ns, detected and rewritten at the sweep: the latency
+		// is one pump period, the repair itself is immediate.
+		recovered, latency = "online fsck repair", simtime.Duration(at-1)
+
+	case fault.ClassSlotStorm:
+		vh, aerr := rig.vg.Attach("fr-a")
+		if aerr != nil {
+			return "", 0, 0, aerr
+		}
+		for i := 0; i < 2; i++ {
+			if _, cerr := vh.Call(vv, frFn); cerr != nil {
+				return "", 0, 0, cerr
+			}
+		}
+		if err := rig.arm(cls); err != nil {
+			return "", 0, 0, err
+		}
+		at := nextTick(vv.Clock().Now())
+		if applied := m.PumpFaults(at); applied != 1 {
+			return "", 0, 0, fmt.Errorf("storm not applied (%d)", applied)
+		}
+		t0 := vv.Clock().Now()
+		if _, cerr := vh.Call(vv, frFn); cerr != nil {
+			return "", 0, 0, fmt.Errorf("post-storm call failed: %w", cerr)
+		}
+		recovered, latency = "HCSlotFault re-bind", vv.Clock().Elapsed(t0)-hot
+
+	case fault.ClassRevokeRace:
+		vh, aerr := rig.vg.Attach("fr-a")
+		if aerr != nil {
+			return "", 0, 0, aerr
+		}
+		if _, cerr := vh.Call(vv, frFn); cerr != nil {
+			return "", 0, 0, cerr
+		}
+		if err := rig.arm(cls); err != nil {
+			return "", 0, 0, err
+		}
+		t0 := vv.Clock().Now()
+		if _, cerr := vh.Call(vv, frFn); cerr == nil {
+			return "", 0, 0, fmt.Errorf("revoke-race call succeeded against a revoked attachment")
+		}
+		if rig.vm.Dead() {
+			return "", 0, 0, fmt.Errorf("revoke-race killed a cooperative caller")
+		}
+		// The next call drains the deferred teardown (the shootdown IPI)
+		// and is refused cleanly again.
+		if _, cerr := vh.Call(vv, frFn); cerr == nil {
+			return "", 0, 0, fmt.Errorf("stale handle accepted after revocation")
+		}
+		recovered, latency = "clean in-flight refusal", vv.Clock().Elapsed(t0)
+
+	default:
+		return "", 0, 0, fmt.Errorf("unknown fault class %q", cls)
+	}
+
+	if err := m.Fsck(); err != nil {
+		return "", 0, 0, fmt.Errorf("%s: fsck dirty after recovery: %w", cls, err)
+	}
+	if k := rig.h.KilledVMs(); k != 0 {
+		return "", 0, 0, fmt.Errorf("%s: %d protocol kills", cls, k)
+	}
+	// Blast radius: the bystander's hot path must not have moved.
+	bv := rig.bm.VCPU()
+	if _, cerr := rig.bh.Call(bv, frFn); cerr != nil {
+		return "", 0, 0, fmt.Errorf("%s: bystander call failed: %w", cls, cerr)
+	}
+	t0 := bv.Clock().Now()
+	if _, cerr := rig.bh.Call(bv, frFn); cerr != nil {
+		return "", 0, 0, cerr
+	}
+	bystander = bv.Clock().Elapsed(t0)
+	if bystander != hot {
+		return "", 0, 0, fmt.Errorf("%s: bystander hot call %dns, want %dns", cls, int64(bystander), int64(hot))
+	}
+	return recovered, latency, bystander, nil
+}
+
+// runFaultRecovery runs one scenario per fault class on a fresh machine
+// and tabulates the virtual-time recovery cost. Everything is seeded and
+// simulated, so the table reproduces byte-for-byte.
+func runFaultRecovery(cfg Config) (*stats.Table, error) {
+	t := stats.NewTable(
+		"Fault recovery: virtual-time cost per injected fault class",
+		"Fault class", "Recovered by", "Recovery latency [ns]", "Bystander hot call [ns]")
+	for _, cls := range fault.Classes {
+		recovered, lat, bystander, err := runFaultClass(cls)
+		if err != nil {
+			return nil, fmt.Errorf("fault class %s: %w", cls, err)
+		}
+		t.AddRow(string(cls), recovered, int64(lat), int64(bystander))
+	}
+	t.AddNote("latency per class: crash-mid-gate and eptp-corrupt wait for the next %dns recovery sweep; negotiate classes pay the retry/backoff overhead over a clean attach; slot-storm pays the re-bind over a hot call; revoke-race is the wasted refused round trip", int64(frPumpEvery))
+	t.AddNote("blast radius: after every recovery the bystander's warm call still costs exactly %dns and the audit is clean", int64(simtime.Default().ELISARoundTrip()))
+	return t, nil
+}

@@ -1,0 +1,408 @@
+// Package fault is the deterministic fault-injection layer of the
+// simulated machine. ELISA's safety argument is that the manager VM
+// survives anything a guest does — a guest that crashes mid-gate-call,
+// presents a stale EPTP, or floods the negotiation hypercalls must never
+// corrupt shared objects or take down other tenants. This package makes
+// that argument executable: faults are armed via a seeded Plan (a
+// schedule over simulated time), fired at the architectural boundaries
+// the manager and hypervisor expose as hook points, and every firing is
+// recorded so two runs with the same seed produce the identical fault
+// trace at the identical virtual nanoseconds.
+//
+// Fault classes map to the boundaries of the design:
+//
+//   - ClassCrashMidGate — the guest vCPU dies between the inbound VMFUNC
+//     into a sub context and the outbound return (the worst place to die:
+//     the manager must notice via gate-path epochs and reclaim).
+//   - ClassNegotiateFail / ClassNegotiateTimeout — a negotiation
+//     hypercall (attach, slot fault) fails transiently; guests recover
+//     with bounded retry-and-backoff.
+//   - ClassEPTPCorrupt — an EPTP-list entry is scribbled (stray DMA / bit
+//     flip model); Manager.FsckRepair detects and rewrites it from the
+//     slot-table bookkeeping.
+//   - ClassSlotStorm — every backed slot of a guest is unbound at once,
+//     so its next calls all take the HCSlotFault slow path back.
+//   - ClassRevokeRace — the manager revokes the attachment while the
+//     call is already past the gate; the call must fail cleanly, never
+//     observe a recycled context, and never panic.
+//
+// Nothing here charges simulated time on the hot path: an unarmed
+// injector costs one nil check, exactly like the flight recorder.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/elisa-go/elisa/internal/simtime"
+)
+
+// Class enumerates the injectable fault classes.
+type Class string
+
+// The fault classes, one per architectural boundary.
+const (
+	ClassCrashMidGate     Class = "crash-mid-gate"
+	ClassNegotiateFail    Class = "negotiate-fail"
+	ClassNegotiateTimeout Class = "negotiate-timeout"
+	ClassEPTPCorrupt      Class = "eptp-corrupt"
+	ClassSlotStorm        Class = "slot-storm"
+	ClassRevokeRace       Class = "revoke-race"
+)
+
+// Classes lists every class in deterministic order (plan generation and
+// metrics iterate it).
+var Classes = []Class{
+	ClassCrashMidGate,
+	ClassNegotiateFail,
+	ClassNegotiateTimeout,
+	ClassEPTPCorrupt,
+	ClassSlotStorm,
+	ClassRevokeRace,
+}
+
+// Point is a hook site where synchronous fault classes can fire.
+type Point string
+
+// The hook points the manager and hypervisor expose.
+const (
+	// PointGateEntry: the caller has switched into the sub context and is
+	// about to run the manager function (Handle.Call / CallMulti).
+	PointGateEntry Point = "gate-entry"
+	// PointNegotiate: a negotiation hypercall is being serviced
+	// (HCAttach, HCDetach, HCSlotFault).
+	PointNegotiate Point = "negotiate"
+	// PointInvoke: the manager is about to dispatch the function body
+	// (where a racing revocation lands).
+	PointInvoke Point = "invoke"
+	// PointAsync: applied by the pump between events, not on a call path
+	// (EPTP corruption, slot storms).
+	PointAsync Point = "async"
+)
+
+// pointOf maps each class to the hook point where it fires. Unknown
+// classes map to "" (plan construction rejects them).
+func pointOf(c Class) Point {
+	switch c {
+	case ClassCrashMidGate:
+		return PointGateEntry
+	case ClassNegotiateFail, ClassNegotiateTimeout:
+		return PointNegotiate
+	case ClassRevokeRace:
+		return PointInvoke
+	case ClassEPTPCorrupt, ClassSlotStorm:
+		return PointAsync
+	default:
+		return ""
+	}
+}
+
+// ErrInjected marks every error produced by an injected fault, so tests
+// and recovery paths can tell deliberate chaos from real bugs.
+var ErrInjected = errors.New("fault: injected")
+
+// ErrTransient marks an injected failure the guest is expected to retry:
+// negotiation failures and timeouts wrap it, and the guest library's
+// bounded retry-with-backoff loop keys on it.
+var ErrTransient = fmt.Errorf("%w (transient)", ErrInjected)
+
+// IsTransient reports whether err descends from an injected transient
+// fault (the retry predicate).
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// Retry policy for transient negotiation failures. The backoff is charged
+// to the guest's simulated clock, so a retried attach costs virtual time,
+// never correctness.
+const (
+	// MaxRetries bounds how many times a guest retries one negotiation.
+	MaxRetries = 4
+	// BaseBackoff is the first retry delay; it doubles per attempt.
+	BaseBackoff simtime.Duration = 2 * simtime.Microsecond
+	// NegotiateTimeout is the virtual time a ClassNegotiateTimeout firing
+	// charges the caller — the negotiation round trip that went nowhere.
+	NegotiateTimeout simtime.Duration = 10 * simtime.Microsecond
+)
+
+// Backoff returns the delay before retry attempt n (0-based),
+// exponentially doubling from BaseBackoff.
+func Backoff(attempt int) simtime.Duration {
+	if attempt < 0 {
+		attempt = 0
+	}
+	if attempt > 16 {
+		attempt = 16
+	}
+	return BaseBackoff << uint(attempt)
+}
+
+// Injection is one armed fault: a class, a target guest, and the virtual
+// time at which it becomes due. Synchronous classes fire at the first
+// matching hook crossing at or after At; async classes are applied by the
+// pump at At.
+type Injection struct {
+	// Seq orders injections within a plan (stable tie-break).
+	Seq int
+	// At is the virtual time the injection becomes due.
+	At simtime.Time
+	// Class is the fault class.
+	Class Class
+	// Guest names the target guest ("" = first guest to cross the hook).
+	Guest string
+	// Count is how many times the injection fires before it is spent
+	// (storms and flood faults use >1; 0 means 1).
+	Count int
+	// Arg is a class-specific payload (e.g. which relative slot an
+	// EPTP corruption scribbles), drawn from the plan's seed.
+	Arg uint64
+}
+
+// String renders the injection for the fault trace.
+func (in Injection) String() string {
+	return fmt.Sprintf("#%02d @%-12s %-18s guest=%-12s count=%d arg=%#x",
+		in.Seq, simtime.Duration(in.At), in.Class, in.Guest, in.remaining(), in.Arg)
+}
+
+func (in Injection) remaining() int {
+	if in.Count <= 0 {
+		return 1
+	}
+	return in.Count
+}
+
+// Firing is one consummated injection: the scheduled injection plus where
+// and when it actually fired. The sequence of Firings is the fault trace
+// determinism tests compare byte-for-byte.
+type Firing struct {
+	Injection Injection
+	Point     Point
+	Guest     string // the guest it actually hit
+	Now       simtime.Time
+}
+
+// String renders one fault-trace line.
+func (f Firing) String() string {
+	return fmt.Sprintf("fired @%-12s %-18s at %-10s guest=%s (armed #%02d @%s)",
+		simtime.Duration(f.Now), f.Injection.Class, f.Point, f.Guest,
+		f.Injection.Seq, simtime.Duration(f.Injection.At))
+}
+
+// Injector holds a plan's armed injections and hands them out to hook
+// sites. It is safe for concurrent use: chaos tests drive guests from
+// many goroutines.
+type Injector struct {
+	mu      sync.Mutex
+	pending []Injection // sorted by (At, Seq); Count decremented in place
+	fired   []Firing
+	byClass map[Class]uint64
+	byGuest map[string]uint64
+
+	// recovery-side accounting, bumped by the manager as it recovers
+	recoveries map[string]uint64 // by kind
+}
+
+// NewInjector arms a plan. A nil plan yields a valid injector that never
+// fires (so call sites need no nil checks beyond the manager's own).
+func NewInjector(p *Plan) *Injector {
+	inj := &Injector{
+		byClass:    make(map[Class]uint64),
+		byGuest:    make(map[string]uint64),
+		recoveries: make(map[string]uint64),
+	}
+	if p != nil {
+		inj.pending = append(inj.pending, p.Injections...)
+		sort.SliceStable(inj.pending, func(i, j int) bool {
+			if inj.pending[i].At != inj.pending[j].At {
+				return inj.pending[i].At < inj.pending[j].At
+			}
+			return inj.pending[i].Seq < inj.pending[j].Seq
+		})
+		for i := range inj.pending {
+			if inj.pending[i].Count <= 0 {
+				inj.pending[i].Count = 1
+			}
+		}
+	}
+	return inj
+}
+
+// Fire consumes and returns the first due injection matching the hook
+// point and guest, or nil. A nil *Injector never fires, so the manager's
+// hook sites cost one nil check when chaos is off.
+func (inj *Injector) Fire(p Point, guest string, now simtime.Time) *Injection {
+	if inj == nil {
+		return nil
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	for i := range inj.pending {
+		in := &inj.pending[i]
+		if in.At > now {
+			break // pending is time-sorted; nothing later is due
+		}
+		if pointOf(in.Class) != p {
+			continue
+		}
+		if in.Guest != "" && guest != "" && in.Guest != guest {
+			continue
+		}
+		return inj.consumeLocked(i, p, guest, now)
+	}
+	return nil
+}
+
+// Due returns (consuming) every async injection due at or before now, in
+// schedule order. The pump applies them between simulation events.
+func (inj *Injector) Due(now simtime.Time) []Injection {
+	if inj == nil {
+		return nil
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	var out []Injection
+	for i := 0; i < len(inj.pending); {
+		in := inj.pending[i]
+		if in.At > now {
+			break
+		}
+		if pointOf(in.Class) != PointAsync {
+			i++
+			continue
+		}
+		before := len(inj.pending)
+		fired := inj.consumeLocked(i, PointAsync, in.Guest, now)
+		out = append(out, *fired)
+		if len(inj.pending) == before {
+			// The entry survived with count remaining (async storm): one
+			// firing per pump, move past it.
+			i++
+		}
+		// Otherwise it was removed and index i now holds the next entry.
+	}
+	return out
+}
+
+// consumeLocked records a firing of pending[i] and decrements/removes it.
+// It returns a copy of the injection as fired.
+func (inj *Injector) consumeLocked(i int, p Point, guest string, now simtime.Time) *Injection {
+	in := inj.pending[i]
+	inj.pending[i].Count--
+	if inj.pending[i].Count <= 0 {
+		inj.pending = append(inj.pending[:i], inj.pending[i+1:]...)
+	}
+	hit := guest
+	if hit == "" {
+		hit = in.Guest
+	}
+	inj.fired = append(inj.fired, Firing{Injection: in, Point: p, Guest: hit, Now: now})
+	inj.byClass[in.Class]++
+	if hit != "" {
+		inj.byGuest[hit]++
+	}
+	return &in
+}
+
+// NoteRecovery records one recovery action of the given kind (the manager
+// calls it from quarantine, repair, and retry paths), keeping the fault
+// and recovery sides of the trace in one place.
+func (inj *Injector) NoteRecovery(kind, guest string) {
+	if inj == nil {
+		return
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.recoveries[kind]++
+}
+
+// Pending reports how many injections are still armed.
+func (inj *Injector) Pending() int {
+	if inj == nil {
+		return 0
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	n := 0
+	for _, in := range inj.pending {
+		n += in.remaining()
+	}
+	return n
+}
+
+// Fired returns the fault trace so far, in firing order.
+func (inj *Injector) Fired() []Firing {
+	if inj == nil {
+		return nil
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return append([]Firing(nil), inj.fired...)
+}
+
+// FiredByClass returns per-class firing counts (metrics view).
+func (inj *Injector) FiredByClass() map[Class]uint64 {
+	if inj == nil {
+		return nil
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	out := make(map[Class]uint64, len(inj.byClass))
+	for k, v := range inj.byClass {
+		out[k] = v
+	}
+	return out
+}
+
+// FiredByGuest returns per-guest firing counts (the CHAOS column).
+func (inj *Injector) FiredByGuest() map[string]uint64 {
+	if inj == nil {
+		return nil
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	out := make(map[string]uint64, len(inj.byGuest))
+	for k, v := range inj.byGuest {
+		out[k] = v
+	}
+	return out
+}
+
+// Recoveries returns the per-kind recovery counts noted so far.
+func (inj *Injector) Recoveries() map[string]uint64 {
+	if inj == nil {
+		return nil
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	out := make(map[string]uint64, len(inj.recoveries))
+	for k, v := range inj.recoveries {
+		out[k] = v
+	}
+	return out
+}
+
+// TraceString renders the full fault/recovery trace deterministically:
+// firings in order, then recovery counts sorted by kind. Two runs from
+// the same seed produce byte-identical strings.
+func (inj *Injector) TraceString() string {
+	if inj == nil {
+		return ""
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	var b strings.Builder
+	for _, f := range inj.fired {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	kinds := make([]string, 0, len(inj.recoveries))
+	for k := range inj.recoveries {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "recovered %-18s x%d\n", k, inj.recoveries[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,219 @@
+package fault
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/elisa-go/elisa/internal/simtime"
+)
+
+func TestPlanDeterminism(t *testing.T) {
+	cfg := PlanConfig{Seed: 42, Horizon: simtime.Millisecond, Guests: []string{"a", "b"}, N: 16}
+	p1, err := NewPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.String() != p2.String() {
+		t.Fatalf("same seed produced different plans:\n%s\nvs\n%s", p1, p2)
+	}
+	cfg.Seed = 43
+	p3, err := NewPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.String() == p1.String() {
+		t.Fatalf("different seeds produced the identical plan")
+	}
+}
+
+func TestPlanRespectsConfig(t *testing.T) {
+	cfg := PlanConfig{
+		Seed:    7,
+		Horizon: 100 * simtime.Microsecond,
+		Guests:  []string{"g0", "g1", "g2"},
+		Classes: []Class{ClassSlotStorm, ClassEPTPCorrupt},
+		N:       32,
+	}
+	p, err := NewPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Injections) != 32 {
+		t.Fatalf("got %d injections, want 32", len(p.Injections))
+	}
+	for _, in := range p.Injections {
+		if in.Class != ClassSlotStorm && in.Class != ClassEPTPCorrupt {
+			t.Fatalf("injection drew class %q outside the configured set", in.Class)
+		}
+		if in.At <= 0 || in.At > simtime.Time(cfg.Horizon) {
+			t.Fatalf("injection at %v outside horizon %v", in.At, cfg.Horizon)
+		}
+		found := false
+		for _, g := range cfg.Guests {
+			if in.Guest == g {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("injection targets unknown guest %q", in.Guest)
+		}
+	}
+}
+
+func TestPlanRejectsUnknownClass(t *testing.T) {
+	if _, err := NewPlan(PlanConfig{Seed: 1, Classes: []Class{"not-a-class"}}); err == nil {
+		t.Fatal("expected an error for an unknown class")
+	}
+}
+
+func TestInjectorFireMatchesPointGuestAndTime(t *testing.T) {
+	p := &Plan{Injections: []Injection{
+		{Seq: 0, At: 100, Class: ClassCrashMidGate, Guest: "a"},
+		{Seq: 1, At: 200, Class: ClassNegotiateFail, Guest: "b", Count: 2},
+	}}
+	inj := NewInjector(p)
+
+	// Not due yet.
+	if f := inj.Fire(PointGateEntry, "a", 50); f != nil {
+		t.Fatalf("fired before due: %v", f)
+	}
+	// Wrong point.
+	if f := inj.Fire(PointNegotiate, "a", 150); f != nil {
+		t.Fatalf("fired at the wrong point: %v", f)
+	}
+	// Wrong guest.
+	if f := inj.Fire(PointGateEntry, "b", 150); f != nil {
+		t.Fatalf("fired for the wrong guest: %v", f)
+	}
+	// Right point, guest, and time.
+	f := inj.Fire(PointGateEntry, "a", 150)
+	if f == nil || f.Class != ClassCrashMidGate {
+		t.Fatalf("expected crash-mid-gate firing, got %v", f)
+	}
+	// Consumed.
+	if f := inj.Fire(PointGateEntry, "a", 151); f != nil {
+		t.Fatalf("single-count injection fired twice: %v", f)
+	}
+
+	// Count=2 fires twice then is spent.
+	if f := inj.Fire(PointNegotiate, "b", 250); f == nil {
+		t.Fatal("negotiate-fail storm did not fire (1st)")
+	}
+	if f := inj.Fire(PointNegotiate, "b", 251); f == nil {
+		t.Fatal("negotiate-fail storm did not fire (2nd)")
+	}
+	if f := inj.Fire(PointNegotiate, "b", 252); f != nil {
+		t.Fatalf("storm overfired: %v", f)
+	}
+	if got := inj.Pending(); got != 0 {
+		t.Fatalf("pending = %d after everything fired, want 0", got)
+	}
+	if got := len(inj.Fired()); got != 3 {
+		t.Fatalf("fired trace has %d entries, want 3", got)
+	}
+}
+
+func TestInjectorDueConsumesOnlyAsync(t *testing.T) {
+	p := &Plan{Injections: []Injection{
+		{Seq: 0, At: 10, Class: ClassEPTPCorrupt, Guest: "a"},
+		{Seq: 1, At: 20, Class: ClassCrashMidGate, Guest: "a"},
+		{Seq: 2, At: 30, Class: ClassSlotStorm, Guest: "b"},
+		{Seq: 3, At: 99999, Class: ClassSlotStorm, Guest: "b"},
+	}}
+	inj := NewInjector(p)
+	due := inj.Due(1000)
+	if len(due) != 2 {
+		t.Fatalf("Due returned %d injections, want 2 (corrupt + storm): %v", len(due), due)
+	}
+	if due[0].Class != ClassEPTPCorrupt || due[1].Class != ClassSlotStorm {
+		t.Fatalf("Due order wrong: %v", due)
+	}
+	// The synchronous crash is still pending; the far-future storm too.
+	if got := inj.Pending(); got != 2 {
+		t.Fatalf("pending = %d, want 2", got)
+	}
+	if f := inj.Fire(PointGateEntry, "a", 1000); f == nil {
+		t.Fatal("synchronous injection was consumed by Due")
+	}
+}
+
+func TestInjectorWildcardGuest(t *testing.T) {
+	p := &Plan{Injections: []Injection{{Seq: 0, At: 5, Class: ClassCrashMidGate}}}
+	inj := NewInjector(p)
+	f := inj.Fire(PointGateEntry, "whoever", 10)
+	if f == nil {
+		t.Fatal("wildcard-guest injection did not fire")
+	}
+	fired := inj.Fired()
+	if fired[0].Guest != "whoever" {
+		t.Fatalf("firing recorded guest %q, want the crossing guest", fired[0].Guest)
+	}
+	if inj.FiredByGuest()["whoever"] != 1 {
+		t.Fatal("per-guest count missing the crossing guest")
+	}
+}
+
+func TestTraceStringDeterministic(t *testing.T) {
+	build := func() string {
+		p := &Plan{Injections: []Injection{
+			{Seq: 0, At: 10, Class: ClassEPTPCorrupt, Guest: "a"},
+			{Seq: 1, At: 20, Class: ClassCrashMidGate, Guest: "b"},
+		}}
+		inj := NewInjector(p)
+		inj.Due(15)
+		inj.Fire(PointGateEntry, "b", 25)
+		inj.NoteRecovery("quarantine", "b")
+		inj.NoteRecovery("repair", "a")
+		inj.NoteRecovery("repair", "a")
+		return inj.TraceString()
+	}
+	if build() != build() {
+		t.Fatal("identical firing sequences rendered different traces")
+	}
+	if build() == "" {
+		t.Fatal("trace is empty")
+	}
+}
+
+func TestBackoffBoundedAndGrowing(t *testing.T) {
+	prev := simtime.Duration(0)
+	for i := 0; i < 6; i++ {
+		b := Backoff(i)
+		if b <= prev {
+			t.Fatalf("backoff(%d)=%v not growing past %v", i, b, prev)
+		}
+		prev = b
+	}
+	if Backoff(-3) != BaseBackoff {
+		t.Fatal("negative attempt should clamp to base backoff")
+	}
+	if Backoff(100) != BaseBackoff<<16 {
+		t.Fatal("attempt clamp missing; shift would overflow")
+	}
+}
+
+func TestTransientErrorPredicate(t *testing.T) {
+	wrapped := fmt.Errorf("core: attach %q: %w", "obj", ErrTransient)
+	if !IsTransient(wrapped) {
+		t.Fatal("wrapped transient error not recognised")
+	}
+	if IsTransient(fmt.Errorf("ordinary failure")) {
+		t.Fatal("ordinary error classified transient")
+	}
+	if IsTransient(ErrInjected) {
+		t.Fatal("non-transient injected error classified transient")
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if inj.Fire(PointGateEntry, "a", 10) != nil || inj.Due(10) != nil ||
+		inj.Pending() != 0 || inj.Fired() != nil || inj.TraceString() != "" {
+		t.Fatal("nil injector must be inert")
+	}
+	inj.NoteRecovery("quarantine", "a") // must not panic
+}

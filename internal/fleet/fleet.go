@@ -19,6 +19,7 @@ import (
 
 	"github.com/elisa-go/elisa/internal/core"
 	"github.com/elisa-go/elisa/internal/des"
+	"github.com/elisa-go/elisa/internal/fault"
 	"github.com/elisa-go/elisa/internal/hv"
 	"github.com/elisa-go/elisa/internal/simtime"
 	"github.com/elisa-go/elisa/internal/stats"
@@ -41,6 +42,15 @@ type Config struct {
 	// Seed feeds every tenant's arrival process. Two schedulers built
 	// with the same seed and tenant set produce byte-identical reports.
 	Seed int64
+	// Faults, when non-nil, arms the manager with this fault plan for the
+	// fleet's runs: the scheduler pumps asynchronous injections between
+	// events, repairs what they corrupt, and quarantines tenants they
+	// kill. The plan is part of the seed — the same (Seed, Faults) pair
+	// replays the identical fault and recovery trace.
+	Faults *fault.Plan
+	// PumpEvery is the virtual-time period of the fault pump / recovery
+	// sweep while a plan is armed (default: the scheduling Quantum).
+	PumpEvery simtime.Duration
 }
 
 // TenantSpec describes one tenant to admit.
@@ -90,7 +100,20 @@ type Tenant struct {
 	maxQueue  int
 	coreTime  simtime.Duration
 	hist      *stats.Histogram
+
+	// chaos lifecycle: a crashed tenant stops being scheduled (its queue
+	// is discarded into lost); recovered marks that the manager has
+	// quarantined and reclaimed its attachments.
+	crashed   bool
+	recovered bool
+	lost      uint64
 }
+
+// Crashed reports whether the tenant's guest died during a run.
+func (t *Tenant) Crashed() bool { return t.crashed }
+
+// Recovered reports whether the manager reclaimed the tenant post-mortem.
+func (t *Tenant) Recovered() bool { return t.recovered }
 
 // Name returns the tenant's guest name.
 func (t *Tenant) Name() string { return t.spec.Name }
@@ -108,6 +131,8 @@ type Scheduler struct {
 	tenants []*Tenant
 	elapsed simtime.Duration // accumulated across Run calls
 	ran     bool
+
+	inj *fault.Injector // armed from cfg.Faults (nil = chaos off)
 }
 
 // New builds an empty fleet over an existing machine.
@@ -127,8 +152,19 @@ func New(h *hv.Hypervisor, mgr *core.Manager, cfg Config) (*Scheduler, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
-	return &Scheduler{hv: h, mgr: mgr, cfg: cfg}, nil
+	if cfg.PumpEvery <= 0 {
+		cfg.PumpEvery = cfg.Quantum
+	}
+	s := &Scheduler{hv: h, mgr: mgr, cfg: cfg}
+	if cfg.Faults != nil {
+		s.inj = fault.NewInjector(cfg.Faults)
+		mgr.SetInjector(s.inj)
+	}
+	return s, nil
 }
+
+// Injector returns the armed fault injector (nil when chaos is off).
+func (s *Scheduler) Injector() *fault.Injector { return s.inj }
 
 // Admit boots a tenant guest, attaches its objects, and adds it to the
 // schedule. It enforces the MaxTenants admission cap; a refused tenant
@@ -233,7 +269,7 @@ func (s *Scheduler) Run(d simtime.Duration) (*Report, error) {
 			}
 			var next *Tenant
 			for _, t := range s.tenants {
-				if len(t.queue) == 0 {
+				if t.crashed || len(t.queue) == 0 {
 					continue
 				}
 				if next == nil || t.pass < next.pass || (t.pass == next.pass && t.index < next.index) {
@@ -256,6 +292,15 @@ func (s *Scheduler) Run(d simtime.Duration) (*Report, error) {
 				spent += cost
 				if err != nil {
 					t.fnErrors++
+					if t.vm.Dead() {
+						// The guest died mid-call (injected crash or a
+						// protocol kill). Its pending ops are lost; the
+						// pump's next sweep quarantines its attachments.
+						t.crashed = true
+						t.lost += uint64(len(t.queue))
+						t.queue = nil
+						break
+					}
 					continue
 				}
 				t.completed++
@@ -278,6 +323,9 @@ func (s *Scheduler) Run(d simtime.Duration) (*Report, error) {
 	var arrive func(t *Tenant) func(now simtime.Time)
 	arrive = func(t *Tenant) func(now simtime.Time) {
 		return func(now simtime.Time) {
+			if t.crashed {
+				return // a dead tenant's arrival chain ends
+			}
 			if t.spec.Ops > 0 && t.submitted >= uint64(t.spec.Ops) {
 				return
 			}
@@ -300,10 +348,51 @@ func (s *Scheduler) Run(d simtime.Duration) (*Report, error) {
 		}
 	}
 
+	// Fault pump: while a plan is armed, a periodic event applies due
+	// asynchronous injections (EPTP corruption, slot storms), immediately
+	// repairs what they corrupted — the repair pass runs before any guest
+	// call can stumble into a scribbled entry — and quarantines tenants
+	// that died, reclaiming their attachments without touching the rest.
+	if s.inj != nil {
+		var pump func(now simtime.Time)
+		pump = func(now simtime.Time) {
+			s.mgr.PumpFaults(now)
+			_, _ = s.mgr.FsckRepair()
+			s.sweepDead()
+			_, _ = sim.After(s.cfg.PumpEvery, pump)
+		}
+		if _, err := sim.After(s.cfg.PumpEvery, pump); err != nil {
+			return nil, err
+		}
+	}
+
 	sim.RunUntil(deadline)
+	if s.inj != nil {
+		// Final sweep: a tenant that died after the last pump tick is
+		// still quarantined before the report is cut.
+		s.sweepDead()
+	}
 	s.elapsed += d
 	s.ran = true
 	return s.reportLocked(), nil
+}
+
+// sweepDead marks tenants whose guests died and has the manager
+// quarantine and reclaim each exactly once. Callers hold s.mu (it runs
+// from Run's event loop and from Run's epilogue).
+func (s *Scheduler) sweepDead() {
+	for _, t := range s.tenants {
+		if t.vm.Dead() && !t.crashed {
+			t.crashed = true
+			t.lost += uint64(len(t.queue))
+			t.queue = nil
+		}
+		if t.crashed && !t.recovered {
+			if _, err := s.mgr.RecoverGuest(t.vm); err == nil {
+				t.recovered = true
+			}
+		}
+	}
 }
 
 // Report is one fleet run's result set.
@@ -311,6 +400,18 @@ type Report struct {
 	Duration simtime.Duration
 	Cores    int
 	Tenants  []TenantReport // admission order
+
+	// Chaos accounting (zero / empty when no fault plan is armed).
+	FaultsFired   uint64 // injections consummated so far
+	FaultsPending int    // injections still armed
+	Recoveries    uint64 // dead guests quarantined + reclaimed
+	MidGateDeaths uint64 // of those, guests that died inside gate/sub ctx
+	Repairs       uint64 // EPTP-list entries FsckRepair rewrote
+	Retries       uint64 // guest-side negotiation retries
+	// FaultTrace is the deterministic fault/recovery trace (injector
+	// firings in order, then recovery counts) — the byte-identical
+	// artefact the determinism regression compares.
+	FaultTrace string
 }
 
 // TenantReport is one tenant's accounting for a run.
@@ -321,6 +422,12 @@ type TenantReport struct {
 	Completed uint64
 	Dropped   uint64
 	FnErrors  uint64
+	// Crashed marks a tenant whose guest died during the run; Recovered
+	// marks that the manager quarantined and reclaimed it; Lost counts the
+	// queued ops discarded at death.
+	Crashed   bool
+	Recovered bool
+	Lost      uint64
 	// GoodputOPS is completed ops per simulated second.
 	GoodputOPS float64
 	// P50/P99 are call completion latencies (queueing included).
@@ -341,6 +448,9 @@ func (s *Scheduler) reportLocked() *Report {
 			Completed: t.completed,
 			Dropped:   t.dropped,
 			FnErrors:  t.fnErrors,
+			Crashed:   t.crashed,
+			Recovered: t.recovered,
+			Lost:      t.lost,
 			P50:       simtime.Duration(t.hist.Percentile(0.50)),
 			P99:       simtime.Duration(t.hist.Percentile(0.99)),
 			MaxQueue:  t.maxQueue,
@@ -350,6 +460,16 @@ func (s *Scheduler) reportLocked() *Report {
 			tr.GoodputOPS = float64(t.completed) * 1e9 / float64(s.elapsed)
 		}
 		r.Tenants = append(r.Tenants, tr)
+	}
+	if s.inj != nil {
+		r.FaultsFired = uint64(len(s.inj.Fired()))
+		r.FaultsPending = s.inj.Pending()
+		r.FaultTrace = s.inj.TraceString()
+		rs := s.mgr.RecoveryStats()
+		r.Recoveries = rs.Recoveries
+		r.MidGateDeaths = rs.MidGateDeaths
+		r.Repairs = rs.Repairs
+		r.Retries = rs.Retries
 	}
 	return r
 }

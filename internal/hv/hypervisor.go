@@ -14,6 +14,7 @@ package hv
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/elisa-go/elisa/internal/cpu"
 	"github.com/elisa-go/elisa/internal/mem"
@@ -43,8 +44,12 @@ type Hypervisor struct {
 	flushOnSwitch bool
 	trace         *trace.Buffer // nil = tracing off
 
-	// stats
-	killed int
+	// stats. deathMu serialises the death counters: guests running on
+	// separate goroutines can be killed concurrently (each by its own
+	// exit), and the counters are the only host state those paths share.
+	deathMu sync.Mutex
+	killed  int
+	crashed int
 }
 
 // Config configures a Hypervisor.
@@ -120,7 +125,38 @@ func (h *Hypervisor) VMs() []*VM {
 
 // KilledVMs reports how many VMs the hypervisor has terminated for
 // protocol violations.
-func (h *Hypervisor) KilledVMs() int { return h.killed }
+func (h *Hypervisor) KilledVMs() int {
+	h.deathMu.Lock()
+	defer h.deathMu.Unlock()
+	return h.killed
+}
+
+// CrashedVMs reports how many VMs died by crash (CrashVM) rather than by
+// a protocol kill. Fault injection uses crashes; the chaos invariant
+// "no kill" is about KilledVMs staying zero while CrashedVMs grows.
+func (h *Hypervisor) CrashedVMs() int {
+	h.deathMu.Lock()
+	defer h.deathMu.Unlock()
+	return h.crashed
+}
+
+// CrashVM models a guest dying of its own accord — kernel panic, triple
+// fault, or an injected fault — wherever it happens to be executing,
+// including inside a gate or sub EPT context. The VM and its vCPU are
+// marked dead (every later guest operation fails cleanly); nothing is
+// reclaimed here. The ELISA manager notices the death via its gate-path
+// epochs and quarantines the guest's attachments (core.RecoverGuest).
+func (h *Hypervisor) CrashVM(vm *VM, why string) {
+	if vm == nil || vm.dead {
+		return
+	}
+	vm.dead = true
+	vm.vcpu.Kill()
+	h.deathMu.Lock()
+	h.crashed++
+	h.deathMu.Unlock()
+	h.trace.Emit(vm.vcpu.Clock().Now(), vm.name, trace.KindCrash, "%s", why)
+}
 
 // MachineStats is an aggregate host snapshot for the metrics layer.
 type MachineStats struct {
@@ -128,6 +164,9 @@ type MachineStats struct {
 	VMs int
 	// Killed counts VMs terminated for protocol violations.
 	Killed int
+	// Crashed counts VMs that died by crash (organic or injected), as
+	// opposed to protocol kills.
+	Crashed int
 	// TraceEmitted is the total number of slow-path events ever emitted
 	// (0 when tracing is off).
 	TraceEmitted uint64
@@ -135,9 +174,13 @@ type MachineStats struct {
 
 // MachineStats returns the aggregate host snapshot.
 func (h *Hypervisor) MachineStats() MachineStats {
+	h.deathMu.Lock()
+	killed, crashed := h.killed, h.crashed
+	h.deathMu.Unlock()
 	return MachineStats{
 		VMs:          len(h.vms),
-		Killed:       h.killed,
+		Killed:       killed,
+		Crashed:      crashed,
 		TraceEmitted: h.trace.Emitted(),
 	}
 }
@@ -188,6 +231,8 @@ func (h *Hypervisor) HandleExit(v *cpu.VCPU, e *cpu.Exit) (cpu.Action, uint64, e
 func (h *Hypervisor) kill(vm *VM) {
 	if !vm.dead {
 		vm.dead = true
+		h.deathMu.Lock()
 		h.killed++
+		h.deathMu.Unlock()
 	}
 }

@@ -3,6 +3,8 @@ package mem
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
+	"unsafe"
 )
 
 // PhysMem is the host physical memory of the simulated machine: a fixed
@@ -152,18 +154,30 @@ func (pm *PhysMem) Write(addr HPA, p []byte) error {
 	return nil
 }
 
-// ReadU64 reads a little-endian 64-bit word.
+// ReadU64 reads a little-endian 64-bit word. Naturally aligned accesses
+// are atomic, as on real hardware: an EPTP-list entry read by VMFUNC
+// microcode on one CPU while the hypervisor rewrites it on another sees
+// either the old or the new pointer, never a torn mix. (The simulation
+// assumes a little-endian host, which every supported platform is.)
 func (pm *PhysMem) ReadU64(addr HPA) (uint64, error) {
 	if err := pm.check(addr, 8); err != nil {
 		return 0, err
 	}
+	if addr%8 == 0 {
+		return atomic.LoadUint64((*uint64)(unsafe.Pointer(&pm.data[addr]))), nil
+	}
 	return binary.LittleEndian.Uint64(pm.data[addr:]), nil
 }
 
-// WriteU64 writes a little-endian 64-bit word.
+// WriteU64 writes a little-endian 64-bit word; naturally aligned writes
+// are atomic (see ReadU64).
 func (pm *PhysMem) WriteU64(addr HPA, v uint64) error {
 	if err := pm.check(addr, 8); err != nil {
 		return err
+	}
+	if addr%8 == 0 {
+		atomic.StoreUint64((*uint64)(unsafe.Pointer(&pm.data[addr])), v)
+		return nil
 	}
 	binary.LittleEndian.PutUint64(pm.data[addr:], v)
 	return nil

@@ -31,6 +31,11 @@ const (
 	KindCleanup   Kind = "cleanup"
 	KindSlotFault Kind = "slot-fault"
 	KindSlotEvict Kind = "slot-evict"
+	// Fault-injection and recovery kinds (PR 3).
+	KindCrash   Kind = "crash"        // guest died (injected or organic), not a protocol kill
+	KindInject  Kind = "fault-inject" // a planned fault fired
+	KindRecover Kind = "recover"      // manager quarantined + reclaimed a dead guest
+	KindRepair  Kind = "fsck-repair"  // online Fsck repaired machine state
 )
 
 // Event is one record.

@@ -2,9 +2,11 @@ package elisa
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/elisa-go/elisa/internal/core"
 	"github.com/elisa-go/elisa/internal/ept"
+	"github.com/elisa-go/elisa/internal/fault"
 	"github.com/elisa-go/elisa/internal/fleet"
 	"github.com/elisa-go/elisa/internal/hv"
 	"github.com/elisa-go/elisa/internal/obs"
@@ -18,6 +20,7 @@ func newMetricsRegistry(h *hv.Hypervisor, mgr *core.Manager, rec *obs.Recorder) 
 	reg.Register(collectMachine(h))
 	reg.Register(collectManager(mgr))
 	reg.Register(collectSlots(mgr))
+	reg.Register(collectFaults(h, mgr))
 	reg.Register(obs.CollectRecorder(rec))
 	return reg
 }
@@ -125,6 +128,56 @@ func collectSlots(mgr *core.Manager) obs.Collector {
 				Type: obs.TypeGauge, Samples: []obs.Sample{{Value: capacity}}},
 			{Name: "elisa_slot_backed_total", Help: "Backed slots machine-wide.",
 				Type: obs.TypeGauge, Samples: []obs.Sample{{Value: totalBacked}}},
+		}
+	}
+}
+
+// collectFaults exports the chaos layer: injected-fault counters by class
+// and by guest (from the armed injector, empty when chaos is off), crash
+// accounting, and the manager's recovery-side counters — quarantines,
+// mid-gate deaths, Fsck repairs, negotiation retries.
+func collectFaults(h *hv.Hypervisor, mgr *core.Manager) obs.Collector {
+	return func() []obs.Metric {
+		injections := obs.Metric{Name: "elisa_fault_injections_total",
+			Help: "Injected faults consummated, by class.", Type: obs.TypeCounter}
+		hits := obs.Metric{Name: "elisa_fault_guest_hits_total",
+			Help: "Injected faults that landed on each guest.", Type: obs.TypeCounter}
+		pending := 0.0
+		inj := mgr.Injector()
+		if inj != nil {
+			byClass := inj.FiredByClass()
+			for _, c := range fault.Classes {
+				injections.Samples = append(injections.Samples, obs.Sample{
+					Labels: map[string]string{"class": string(c)}, Value: float64(byClass[c])})
+			}
+			byGuest := inj.FiredByGuest()
+			guests := make([]string, 0, len(byGuest))
+			for g := range byGuest {
+				guests = append(guests, g)
+			}
+			sort.Strings(guests)
+			for _, g := range guests {
+				hits.Samples = append(hits.Samples, obs.Sample{
+					Labels: map[string]string{"guest": g}, Value: float64(byGuest[g])})
+			}
+			pending = float64(inj.Pending())
+		}
+		rs := mgr.RecoveryStats()
+		recovery := obs.Metric{Name: "elisa_recovery_total",
+			Help: "Recovery actions by kind: quarantines of dead guests, mid-gate deaths among them, Fsck list repairs, guest negotiation retries.",
+			Type: obs.TypeCounter,
+			Samples: []obs.Sample{
+				{Labels: map[string]string{"kind": "quarantine"}, Value: float64(rs.Recoveries)},
+				{Labels: map[string]string{"kind": "mid-gate-death"}, Value: float64(rs.MidGateDeaths)},
+				{Labels: map[string]string{"kind": "fsck-repair"}, Value: float64(rs.Repairs)},
+				{Labels: map[string]string{"kind": "retry"}, Value: float64(rs.Retries)},
+			}}
+		return []obs.Metric{
+			injections, hits, recovery,
+			{Name: "elisa_fault_injections_pending", Help: "Armed injections not yet fired.",
+				Type: obs.TypeGauge, Samples: []obs.Sample{{Value: pending}}},
+			{Name: "elisa_vms_crashed_total", Help: "VMs dead by crash (injected or organic), not protocol kills.",
+				Type: obs.TypeCounter, Samples: []obs.Sample{{Value: float64(h.MachineStats().Crashed)}}},
 		}
 	}
 }
