@@ -1,0 +1,288 @@
+// Command elisa-doclint is the repository's documentation gate. It
+// enforces, with zero dependencies beyond the standard library:
+//
+//   - every package (including main packages) carries a package doc
+//     comment;
+//   - every exported top-level symbol — funcs, types, methods on
+//     exported types, consts and vars — carries a doc comment (a doc
+//     comment on a const/var/type group covers the whole group);
+//   - every relative link in the repository's markdown files resolves
+//     to a file that exists.
+//
+// Usage:
+//
+//	elisa-doclint            # lint the tree rooted at the working directory
+//	elisa-doclint -root DIR  # lint another tree
+//	elisa-doclint -go=false  # markdown links only
+//	elisa-doclint -md=false  # Go doc comments only
+//
+// Exit status is non-zero when any finding is reported, so CI can gate
+// on it (see scripts/check-docs.sh and the docs job in ci.yml).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := flag.String("root", ".", "tree to lint")
+	goLint := flag.Bool("go", true, "lint Go doc comments")
+	mdLint := flag.Bool("md", true, "lint markdown links")
+	flag.Parse()
+
+	var findings []string
+	if *goLint {
+		f, err := lintGoDocs(*root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "elisa-doclint: %v\n", err)
+			os.Exit(2)
+		}
+		findings = append(findings, f...)
+	}
+	if *mdLint {
+		f, err := lintMarkdownLinks(*root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "elisa-doclint: %v\n", err)
+			os.Exit(2)
+		}
+		findings = append(findings, f...)
+	}
+	sort.Strings(findings)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "elisa-doclint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// skipDir reports directories the walkers never descend into.
+func skipDir(name string) bool {
+	return name == ".git" || name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".")
+}
+
+// lintGoDocs walks every non-test Go file and reports undocumented
+// packages and exported symbols.
+func lintGoDocs(root string) ([]string, error) {
+	// Gather package dirs.
+	dirs := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var findings []string
+	for dir := range dirs {
+		f, err := lintPackageDir(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, f...)
+	}
+	return findings, nil
+}
+
+// lintPackageDir parses one package directory and checks its doc
+// comments.
+func lintPackageDir(root, dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+
+	var findings []string
+	rel := func(p token.Pos) string {
+		pos := fset.Position(p)
+		r, err := filepath.Rel(root, pos.Filename)
+		if err != nil {
+			r = pos.Filename
+		}
+		return fmt.Sprintf("%s:%d", r, pos.Line)
+	}
+
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		// Exported type names, so methods on them can be checked.
+		exportedTypes := map[string]bool{}
+		for _, file := range pkg.Files {
+			if file.Doc != nil {
+				hasPkgDoc = true
+			}
+			for _, decl := range file.Decls {
+				if gd, ok := decl.(*ast.GenDecl); ok && gd.Tok == token.TYPE {
+					for _, spec := range gd.Specs {
+						if ts, ok := spec.(*ast.TypeSpec); ok && ts.Name.IsExported() {
+							exportedTypes[ts.Name.Name] = true
+						}
+					}
+				}
+			}
+		}
+		if !hasPkgDoc {
+			reldir, _ := filepath.Rel(root, dir)
+			findings = append(findings, fmt.Sprintf("%s: package %s has no package doc comment", reldir, pkg.Name))
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				findings = append(findings, lintDecl(decl, exportedTypes, rel)...)
+			}
+		}
+	}
+	return findings, nil
+}
+
+// lintDecl reports the undocumented exported symbols of one top-level
+// declaration.
+func lintDecl(decl ast.Decl, exportedTypes map[string]bool, rel func(token.Pos) string) []string {
+	var findings []string
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		if d.Recv != nil {
+			// Methods count only when the receiver type is exported.
+			if t := receiverTypeName(d.Recv); t != "" && !exportedTypes[t] {
+				return nil
+			}
+		}
+		if d.Doc == nil {
+			kind := "func"
+			name := d.Name.Name
+			if d.Recv != nil {
+				kind = "method"
+				if t := receiverTypeName(d.Recv); t != "" {
+					name = t + "." + name
+				}
+			}
+			findings = append(findings, fmt.Sprintf("%s: exported %s %s has no doc comment", rel(d.Pos()), kind, name))
+		}
+	case *ast.GenDecl:
+		if d.Doc != nil {
+			return nil // a group doc covers every spec in the group
+		}
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+					findings = append(findings, fmt.Sprintf("%s: exported type %s has no doc comment", rel(s.Pos()), s.Name.Name))
+				}
+			case *ast.ValueSpec:
+				if s.Doc != nil || s.Comment != nil {
+					continue
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						findings = append(findings, fmt.Sprintf("%s: exported %s %s has no doc comment", rel(s.Pos()), strings.ToLower(d.Tok.String()), n.Name))
+					}
+				}
+			}
+		}
+	}
+	return findings
+}
+
+// receiverTypeName extracts the bare type name of a method receiver.
+func receiverTypeName(recv *ast.FieldList) string {
+	if recv == nil || len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// mdLink matches inline markdown links and images. Reference-style
+// definitions are rare in this tree and left to the file-exists check
+// of their inline form.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// quotedMaterial names markdown files that reproduce external documents
+// verbatim (paper abstracts, exemplar snippets from other repositories).
+// Their links point into trees that are not checked out here, so the
+// link checker skips them.
+var quotedMaterial = map[string]bool{
+	"PAPER.md":    true,
+	"PAPERS.md":   true,
+	"SNIPPETS.md": true,
+	"ISSUE.md":    true,
+}
+
+// lintMarkdownLinks checks every relative link target in the tree's
+// markdown files.
+func lintMarkdownLinks(root string) ([]string, error) {
+	var findings []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(strings.ToLower(d.Name()), ".md") || quotedMaterial[d.Name()] {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		relFile, _ := filepath.Rel(root, path)
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+					continue
+				}
+				target = strings.SplitN(target, "#", 2)[0]
+				if target == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(path), target)
+				if _, err := os.Stat(resolved); err != nil {
+					findings = append(findings, fmt.Sprintf("%s:%d: broken link %q", relFile, i+1, m[1]))
+				}
+			}
+		}
+		return nil
+	})
+	return findings, err
+}

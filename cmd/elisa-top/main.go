@@ -53,6 +53,9 @@ func main() {
 	skew := flag.Float64("skew", 1.1, "zipf skew of the key popularity (>1)")
 	readRatio := flag.Float64("reads", 0.9, "fraction of GETs in the mix")
 	errEvery := flag.Int("err-every", 64, "inject one failing call every N ops (0 = never)")
+	ringDepth := flag.Int("ring", 0, "drive ops through exit-less call rings of this depth (0 = one gate crossing per call); the RING column then shows drained descriptors and batch p50")
+	ringDeadlineUs := flag.Int("ring-deadline", 5, "ring batching deadline in simulated microseconds (with -ring)")
+	pollBudget := flag.Int("poll-budget", 64, "descriptors the manager poller services per frame (with -ring; 0 = poller off, rings drain only via guest flushes)")
 	faults := flag.Int("faults", 0, "arm a chaos plan with N seeded fault injections (0 = chaos off); the CHAOS column then shows per-guest hits")
 	faultSeed := flag.Int64("fault-seed", 42, "seed of the chaos plan (same seed = same fault trace)")
 	ansi := flag.Bool("ansi", false, "redraw in place with ANSI escapes instead of printing frames sequentially")
@@ -60,7 +63,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "dump JSON metrics at exit")
 	spans := flag.Int("spans", 0, "print the last N sampled call spans at exit")
 	flag.Parse()
-	if err := run(*guests, *objects, *slotBudget, *frames, *interval, *sample, *skew, *readRatio, *errEvery, *faults, *faultSeed, *ansi, *prom, *jsonOut, *spans); err != nil {
+	if err := run(*guests, *objects, *slotBudget, *frames, *interval, *sample, *skew, *readRatio, *errEvery,
+		*ringDepth, *ringDeadlineUs, *pollBudget, *faults, *faultSeed, *ansi, *prom, *jsonOut, *spans); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -69,6 +73,7 @@ func main() {
 type tenant struct {
 	g     *elisa.GuestVM
 	hs    []*elisa.Handle // one per object, cycled round-robin
+	rings []*elisa.RingCaller
 	rr    int
 	keys  workload.KeyChooser
 	mix   *workload.Mix
@@ -76,7 +81,21 @@ type tenant struct {
 	start simtime.Time // frame start on this guest's clock
 }
 
-func run(nGuests, nObjects, slotBudget, frames, intervalMs, sample int, skew, readRatio float64, errEvery, nFaults int, faultSeed int64, ansi, prom, jsonOut bool, nSpans int) error {
+// pollRings drains every completion the tenant's rings have ready.
+func (tn *tenant) pollRings(v *elisa.VCPU) {
+	var comps [64]elisa.Comp
+	for _, rc := range tn.rings {
+		for {
+			n, err := rc.Poll(v, comps[:])
+			if err != nil || n == 0 {
+				break
+			}
+		}
+	}
+}
+
+func run(nGuests, nObjects, slotBudget, frames, intervalMs, sample int, skew, readRatio float64, errEvery,
+	ringDepth, ringDeadlineUs, pollBudget, nFaults int, faultSeed int64, ansi, prom, jsonOut bool, nSpans int) error {
 	if nGuests <= 0 {
 		return fmt.Errorf("need at least one guest")
 	}
@@ -123,12 +142,23 @@ func run(nGuests, nObjects, slotBudget, frames, intervalMs, sample int, skew, re
 			return err
 		}
 		hs := make([]*elisa.Handle, len(objNames))
+		var rings []*elisa.RingCaller
 		for j, name := range objNames {
 			h, err := g.Attach(name)
 			if err != nil {
 				return err
 			}
 			hs[j] = h
+			if ringDepth > 0 {
+				rc, err := h.Ring(g.VCPU(), elisa.RingConfig{
+					Depth:    ringDepth,
+					Deadline: simtime.Duration(ringDeadlineUs) * simtime.Microsecond,
+				})
+				if err != nil {
+					return err
+				}
+				rings = append(rings, rc)
+			}
 		}
 		keys, err := workload.NewZipf(int64(1000+i), nKeys, skew)
 		if err != nil {
@@ -138,7 +168,7 @@ func run(nGuests, nObjects, slotBudget, frames, intervalMs, sample int, skew, re
 		if err != nil {
 			return err
 		}
-		tenants[i] = &tenant{g: g, hs: hs, keys: keys, mix: mix}
+		tenants[i] = &tenant{g: g, hs: hs, rings: rings, keys: keys, mix: mix}
 	}
 
 	// Chaos: arm a seeded fault plan across the tenants. Injected faults
@@ -188,15 +218,48 @@ func run(nGuests, nObjects, slotBudget, frames, intervalMs, sample int, skew, re
 				if errEvery > 0 && tn.ops%errEvery == 0 {
 					fn = fnBogus
 				}
-				h := tn.hs[tn.rr]
+				var err error
+				if tn.rings != nil {
+					// Ring datapath: enqueue exit-lessly; a failing
+					// function comes back as a CompErr completion, so
+					// only protocol errors surface here. Poll before the
+					// completion queue can fill, or flushes stall on
+					// backpressure.
+					if tn.rings[tn.rr].Pending() >= ringDepth {
+						tn.pollRings(v)
+					}
+					err = tn.rings[tn.rr].Submit(v, fn, uint64(off))
+				} else {
+					_, err = tn.hs[tn.rr].Call(v, fn, uint64(off))
+					if err != nil && fn == fnBogus {
+						err = nil // the deliberate error-rate probe
+					}
+				}
 				tn.rr = (tn.rr + 1) % len(tn.hs)
-				if _, err := h.Call(v, fn, uint64(off)); err != nil && fn != fnBogus {
+				if err != nil {
 					if inj == nil {
 						return fmt.Errorf("%s: call: %w", tn.g.Name(), err)
 					}
 					// Chaos armed: injected failures (and the death of
 					// this guest) are the point, not a tool error.
 				}
+			}
+			if tn.rings != nil && !tn.g.Dead() {
+				// Frame epilogue: flush the batching backlog and collect
+				// completions so the frame's counters are settled.
+				for _, rc := range tn.rings {
+					if err := rc.Flush(v); err != nil && inj == nil {
+						return fmt.Errorf("%s: flush: %w", tn.g.Name(), err)
+					}
+				}
+				tn.pollRings(v)
+			}
+		}
+		if ringDepth > 0 && pollBudget > 0 {
+			// One budget-bounded manager poller pass per frame, like the
+			// fleet scheduler interleaves with its quanta.
+			if _, err := mgr.DrainRings(pollBudget); err != nil {
+				return err
 			}
 		}
 		if inj != nil {
@@ -283,8 +346,23 @@ func renderFrame(out *os.File, sys *elisa.System, tenants []*tenant, frame int,
 	if inj := sys.Injector(); inj != nil {
 		chaosHits = inj.FiredByGuest()
 	}
+	// Ring datapath accounting, aggregated per guest: descriptors drained
+	// (both sides) and the largest batch-size p50 across the guest's rings.
+	type ringAgg struct {
+		drained uint64
+		p50     int64
+	}
+	ringsByGuest := make(map[string]ringAgg)
+	for _, rs := range sys.RingStats() {
+		agg := ringsByGuest[rs.Guest]
+		agg.drained += rs.Flushed + rs.Drained
+		if rs.BatchP50 > agg.p50 {
+			agg.p50 = rs.BatchP50
+		}
+		ringsByGuest[rs.Guest] = agg
+	}
 	tb := stats.NewTable(fmt.Sprintf("elisa-top frame %d", frame),
-		"GUEST", "OBJS", "CALLS", "CALLS/S", "ERRS", "P50[ns]", "P99[ns]", "SLOTS", "REMAP/S", "TLB-MISS%", "CHAOS")
+		"GUEST", "OBJS", "CALLS", "CALLS/S", "ERRS", "P50[ns]", "P99[ns]", "SLOTS", "REMAP/S", "TLB-MISS%", "RING", "CHAOS")
 	for _, tn := range tenants {
 		name := tn.g.Name()
 		acct := byGuest[name]
@@ -311,15 +389,19 @@ func renderFrame(out *os.File, sys *elisa.System, tenants []*tenant, frame int,
 				chaos += " DEAD"
 			}
 		}
+		ring := "-"
+		if agg, ok := ringsByGuest[name]; ok {
+			ring = fmt.Sprintf("%d(b%d)", agg.drained, agg.p50)
+		}
 		tb.AddRow(name, len(tn.hs), dCalls, stats.Throughput(int64(dCalls), elapsed),
 			dErrs, h.Percentile(0.50), h.Percentile(0.99),
 			fmt.Sprintf("%d/%d", ss.Backed, ss.Budget),
-			stats.Throughput(int64(dFaults), elapsed), missPct, chaos)
+			stats.Throughput(int64(dFaults), elapsed), missPct, ring, chaos)
 		prevCalls[name], prevErrs[name] = acct.calls, acct.errs
 		prevHits[name], prevMisses[name] = st.TLBHits, st.TLBMisses
 		prevFaults[name] = ss.Faults
 	}
-	tb.AddNote("latency percentiles are cumulative over the run; rates are per-frame; SLOTS is backed/budget physical EPTP slots, REMAP/S the HCSlotFault re-bind rate; CHAOS is injected faults landed on the guest (-faults)")
+	tb.AddNote("latency percentiles are cumulative over the run; rates are per-frame; SLOTS is backed/budget physical EPTP slots, REMAP/S the HCSlotFault re-bind rate; RING is ring descriptors drained with the batch-size p50 in parentheses (-ring); CHAOS is injected faults landed on the guest (-faults)")
 	fmt.Fprint(out, tb.String())
 	fmt.Fprintln(out)
 }

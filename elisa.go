@@ -40,6 +40,7 @@ import (
 	"github.com/elisa-go/elisa/internal/hv"
 	"github.com/elisa-go/elisa/internal/mem"
 	"github.com/elisa-go/elisa/internal/obs"
+	"github.com/elisa-go/elisa/internal/shm"
 	"github.com/elisa-go/elisa/internal/simtime"
 	"github.com/elisa-go/elisa/internal/trace"
 )
@@ -111,6 +112,31 @@ type (
 	FaultInjector = fault.Injector
 	// RecoveryStats is the manager's recovery-side counter snapshot.
 	RecoveryStats = core.RecoveryStats
+	// RingConfig configures Handle.Ring: descriptor-ring depth and the
+	// adaptive batching deadline.
+	RingConfig = core.RingConfig
+	// RingCaller drives an attachment's exit-less call ring: Submit
+	// enqueues operations without a gate crossing, Flush batches queued
+	// ones through a single crossing, Poll collects completions.
+	RingCaller = core.RingCaller
+	// RingStats is one call ring's accounting snapshot
+	// (Manager.RingStats, System.RingStats).
+	RingStats = core.RingStats
+	// Comp is one ring completion: the function's return value plus a
+	// status (CompOK or CompErr).
+	Comp = shm.Comp
+)
+
+// Ring completion statuses and geometry limits.
+const (
+	// CompOK marks a completion whose function returned without error.
+	CompOK = shm.CompOK
+	// CompErr marks a failed or administratively completed descriptor.
+	CompErr = shm.CompErr
+	// DefaultRingDepth is the ring depth RingConfig zero values pick.
+	DefaultRingDepth = core.DefaultRingDepth
+	// MaxRingDepth caps the negotiable ring depth.
+	MaxRingDepth = core.MaxRingDepth
 )
 
 // The injectable fault classes (see package fault for the fault model).
@@ -241,6 +267,12 @@ func (s *System) NewFleet(cfg FleetConfig) (*Fleet, error) {
 // SlotStats returns the per-guest slot-virtualisation accounting (budget,
 // backed, faults, evictions), ordered by guest name.
 func (s *System) SlotStats() []SlotStats { return s.mgr.SlotStats() }
+
+// RingStats returns every call ring's accounting snapshot (occupancy,
+// drain counters by side, batch-size percentiles), ordered by guest then
+// virtual slot. Empty until some attachment negotiates a ring with
+// Handle.Ring.
+func (s *System) RingStats() []RingStats { return s.mgr.RingStats() }
 
 // ArmFaults arms a fault plan on the manager's hook points and returns
 // the injector (nil plan disarms chaos). While armed, the fault classes of

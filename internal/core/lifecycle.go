@@ -17,16 +17,26 @@ import (
 // allocator.
 func (m *Manager) CleanupGuest(guest *hv.VM) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	rings, err := m.cleanupGuestLocked(guest)
+	m.mu.Unlock()
+	// Ring backing memory is freed outside m.mu, under the poller lock, so
+	// an in-flight DrainRings pass can never touch freed frames.
+	if ferr := m.releaseRings(rings); err == nil {
+		err = ferr
+	}
+	return err
+}
+
+func (m *Manager) cleanupGuestLocked(guest *hv.VM) (rings []*hv.HostRegion, err error) {
 	gs, ok := m.guests[guest.ID()]
 	if !ok {
-		return fmt.Errorf("core: guest %q has no ELISA state", guest.Name())
+		return nil, fmt.Errorf("core: guest %q has no ELISA state", guest.Name())
 	}
 	tlb := guest.VCPU().TLB()
 	// Revocations the guest never serviced: destroy their contexts first;
 	// the release loop below skips revoked attachments.
 	if err := m.reapLocked(gs); err != nil {
-		return err
+		return rings, err
 	}
 	release := func(a *Attachment) error {
 		if !a.revoked {
@@ -39,31 +49,37 @@ func (m *Manager) CleanupGuest(guest *hv.VM) error {
 				return err
 			}
 		}
+		if r := detachRingLocked(a); r != nil {
+			rings = append(rings, r)
+		}
 		return a.exchange.Free()
 	}
 	for name, a := range gs.attachments {
 		if err := release(a); err != nil {
-			return fmt.Errorf("core: cleanup %q/%q: %w", guest.Name(), name, err)
+			return rings, fmt.Errorf("core: cleanup %q/%q: %w", guest.Name(), name, err)
 		}
 	}
 	for _, a := range gs.retired {
 		if err := a.exchange.Free(); err != nil {
-			return fmt.Errorf("core: cleanup retired exchange: %w", err)
+			return rings, fmt.Errorf("core: cleanup retired exchange: %w", err)
+		}
+		if r := detachRingLocked(a); r != nil {
+			rings = append(rings, r)
 		}
 	}
 	if err := gs.list.Revoke(IdxGate); err != nil {
-		return err
+		return rings, err
 	}
 	tlb.InvalidateContext(gs.gateCtx.Pointer())
 	if err := gs.gateCtx.Destroy(); err != nil {
-		return err
+		return rings, err
 	}
 	if err := gs.stack.Free(); err != nil {
-		return err
+		return rings, err
 	}
 	delete(m.guests, guest.ID())
 	m.hv.Trace().Emit(guest.VCPU().Clock().Now(), guest.Name(), trace.KindCleanup, "ELISA state released")
-	return nil
+	return rings, nil
 }
 
 // Fsck audits the manager's bookkeeping against the machine state: the

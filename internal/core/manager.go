@@ -57,6 +57,11 @@ type Object struct {
 	huge        bool             // mapped with 2MiB EPT entries
 	defaultPerm ept.Perm         // grant for guests with no explicit ACL entry
 	acl         map[int]ept.Perm // per-VM-id overrides
+
+	// Manager-VM default-context mapping, built lazily on first ring
+	// setup so host-side drains can address the object (see ring.go).
+	mgrGPA    mem.GPA
+	mgrMapped bool
 }
 
 // Name returns the object's name.
@@ -127,6 +132,12 @@ type Manager struct {
 	// mu guards all mutable manager state below. Lowercase helpers assume
 	// it is held; exported methods and hypercall handlers take it.
 	mu sync.Mutex
+
+	// pollMu serialises manager-side ring work: DrainRings passes,
+	// administrative failRing completions, and post-mortem ring-memory
+	// release. Lock order is pollMu > (per-ring) drainMu > mu — nothing
+	// takes pollMu or a drainMu while holding mu (see ring.go).
+	pollMu sync.Mutex
 
 	objects    map[string]*Object
 	nextObjGPA mem.GPA
@@ -239,6 +250,11 @@ type Attachment struct {
 	exchange    *hv.HostRegion
 	exchangeGPA mem.GPA
 	revoked     bool
+
+	// ring, when non-nil, is the attachment's negotiated call ring — the
+	// exit-less datapath descriptors travel instead of per-op gate
+	// crossings (see ring.go).
+	ring *ringState
 
 	// accounting (see Manager.Stats); atomic so the fast path bumps them
 	// without the manager lock.
@@ -504,17 +520,19 @@ func (m *Manager) Attachment(guest *hv.VM, objName string) (*Attachment, bool) {
 // it — revocation is immediate and non-negotiable.
 func (m *Manager) Revoke(guest *hv.VM, objName string) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	gs, ok := m.guests[guest.ID()]
 	if !ok {
+		m.mu.Unlock()
 		return fmt.Errorf("core: guest %q has no ELISA state", guest.Name())
 	}
 	a, ok := gs.attachments[objName]
 	if !ok || a.revoked {
+		m.mu.Unlock()
 		return fmt.Errorf("core: guest %q is not attached to %q", guest.Name(), objName)
 	}
 	a.revoked = true
 	if err := m.unbindLocked(gs, a); err != nil {
+		m.mu.Unlock()
 		return err
 	}
 	// The manager's clock, not the guest's: Revoke may race the guest's
@@ -526,6 +544,12 @@ func (m *Manager) Revoke(guest *hv.VM, objName string) error {
 	// own vCPU: it may be executing in the sub context right now, and its
 	// TLB can only be shot down from its own execution path.
 	gs.pendingReap = append(gs.pendingReap, a)
+	rs := a.ring
+	m.mu.Unlock()
+	// Outside m.mu (lock order — see ring.go): administratively complete
+	// any descriptors still queued on the attachment's ring, so revocation
+	// never strands submitted work.
+	m.failRing(a, rs)
 	return nil
 }
 

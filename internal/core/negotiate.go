@@ -34,7 +34,10 @@ func (m *Manager) registerHypercalls() error {
 	if err := m.hv.RegisterHypercall(HCDetach, m.hcDetach); err != nil {
 		return err
 	}
-	return m.hv.RegisterHypercall(HCSlotFault, m.hcSlotFault)
+	if err := m.hv.RegisterHypercall(HCSlotFault, m.hcSlotFault); err != nil {
+		return err
+	}
+	return m.hv.RegisterHypercall(HCRingSetup, m.hcRingSetup)
 }
 
 func (m *Manager) readName(vm *hv.VM, gpa, n uint64) (string, error) {
@@ -90,35 +93,45 @@ func (m *Manager) hcAttach(vm *hv.VM, args [4]uint64) (uint64, error) {
 // is guest-initiated and graceful (no kill).
 func (m *Manager) hcDetach(vm *hv.VM, args [4]uint64) (uint64, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	name, err := m.readName(vm, args[0], args[1])
 	if err != nil {
+		m.mu.Unlock()
 		return 0, err
 	}
 	gs, ok := m.guests[vm.ID()]
 	if !ok {
+		m.mu.Unlock()
 		return 0, fmt.Errorf("core: guest %q has no ELISA state", vm.Name())
 	}
 	a, ok := gs.attachments[name]
 	if !ok || a.revoked {
+		m.mu.Unlock()
 		return 0, fmt.Errorf("core: guest %q is not attached to %q", vm.Name(), name)
 	}
 	a.revoked = true
 	delete(gs.attachments, name)
 	if err := m.unbindLocked(gs, a); err != nil {
+		m.mu.Unlock()
 		return 0, err
 	}
 	vm.VCPU().TLB().InvalidateContext(a.subCtx.Pointer())
 	if err := a.subCtx.Destroy(); err != nil {
+		m.mu.Unlock()
 		return 0, err
 	}
-	// The exchange buffer stays mapped in the guest's default context
-	// (the guest may still hold data there); its frames are released by
+	// The exchange buffer (and the ring, if negotiated) stays mapped in
+	// the guest's default context (the guest may still hold data there,
+	// and may still poll queued completions); the frames are released by
 	// CleanupGuest when the guest goes away. The virtual slot stays in
 	// gs.vslots, marked revoked, so a stale handle is refused cleanly.
 	gs.retired = append(gs.retired, a)
 	m.hv.Trace().Emit(vm.VCPU().Clock().Now(), vm.Name(), trace.KindDetach,
 		"object %q vslot %d", name, a.vslot)
+	rs := a.ring
+	m.mu.Unlock()
+	// Outside m.mu (lock order — see ring.go): fail any descriptors still
+	// queued on the ring so the detach never strands submitted work.
+	m.failRing(a, rs)
 	return 0, nil
 }
 

@@ -88,17 +88,27 @@ func (m *Manager) fireNegotiate(vm *hv.VM, what string) error {
 // the matching exit. Returns whether the guest died mid-gate.
 func (m *Manager) RecoverGuest(guest *hv.VM) (midGate bool, err error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	midGate, rings, err := m.recoverGuestLocked(guest)
+	m.mu.Unlock()
+	// Ring backing memory is freed outside m.mu, under the poller lock, so
+	// an in-flight DrainRings pass can never touch freed frames.
+	if ferr := m.releaseRings(rings); err == nil {
+		err = ferr
+	}
+	return midGate, err
+}
+
+func (m *Manager) recoverGuestLocked(guest *hv.VM) (midGate bool, rings []*hv.HostRegion, err error) {
 	gs, ok := m.guests[guest.ID()]
 	if !ok {
-		return false, fmt.Errorf("core: guest %q has no ELISA state to recover", guest.Name())
+		return false, nil, fmt.Errorf("core: guest %q has no ELISA state to recover", guest.Name())
 	}
 	midGate = gs.gateEntries > gs.gateExits
 	tlb := guest.VCPU().TLB()
 	// Revocations the guest never lived to service: destroy their contexts
 	// before the sweep below, which skips revoked attachments.
 	if err := m.reapLocked(gs); err != nil {
-		return midGate, err
+		return midGate, rings, err
 	}
 	// Reclaim in sorted object order: the frees feed the allocator's free
 	// list, and replayed runs must return frames in the identical order.
@@ -112,31 +122,37 @@ func (m *Manager) RecoverGuest(guest *hv.VM) (midGate bool, err error) {
 		if !a.revoked {
 			a.revoked = true
 			if err := m.unbindLocked(gs, a); err != nil {
-				return midGate, fmt.Errorf("core: recover %q/%q: %w", guest.Name(), name, err)
+				return midGate, rings, fmt.Errorf("core: recover %q/%q: %w", guest.Name(), name, err)
 			}
 			tlb.InvalidateContext(a.subCtx.Pointer())
 			if err := a.subCtx.Destroy(); err != nil {
-				return midGate, fmt.Errorf("core: recover %q/%q: %w", guest.Name(), name, err)
+				return midGate, rings, fmt.Errorf("core: recover %q/%q: %w", guest.Name(), name, err)
 			}
 		}
 		if err := a.exchange.Free(); err != nil {
-			return midGate, fmt.Errorf("core: recover %q/%q exchange: %w", guest.Name(), name, err)
+			return midGate, rings, fmt.Errorf("core: recover %q/%q exchange: %w", guest.Name(), name, err)
+		}
+		if r := detachRingLocked(a); r != nil {
+			rings = append(rings, r)
 		}
 	}
 	for _, a := range gs.retired {
 		if err := a.exchange.Free(); err != nil {
-			return midGate, fmt.Errorf("core: recover retired exchange: %w", err)
+			return midGate, rings, fmt.Errorf("core: recover retired exchange: %w", err)
+		}
+		if r := detachRingLocked(a); r != nil {
+			rings = append(rings, r)
 		}
 	}
 	if err := gs.list.Revoke(IdxGate); err != nil {
-		return midGate, err
+		return midGate, rings, err
 	}
 	tlb.InvalidateContext(gs.gateCtx.Pointer())
 	if err := gs.gateCtx.Destroy(); err != nil {
-		return midGate, err
+		return midGate, rings, err
 	}
 	if err := gs.stack.Free(); err != nil {
-		return midGate, err
+		return midGate, rings, err
 	}
 	delete(m.guests, guest.ID())
 	m.recoveries++
@@ -149,7 +165,7 @@ func (m *Manager) RecoverGuest(guest *hv.VM) (midGate bool, err error) {
 			gs.gateEntries, gs.gateExits)
 	}
 	m.hv.Trace().Emit(guest.VCPU().Clock().Now(), guest.Name(), trace.KindRecover, "%s", detail)
-	return midGate, nil
+	return midGate, rings, nil
 }
 
 // RecoverDead sweeps the manager's guests for dead VMs and runs

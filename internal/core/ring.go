@@ -1,0 +1,878 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/elisa-go/elisa/internal/cpu"
+	"github.com/elisa-go/elisa/internal/ept"
+	"github.com/elisa-go/elisa/internal/fault"
+	"github.com/elisa-go/elisa/internal/hv"
+	"github.com/elisa-go/elisa/internal/mem"
+	"github.com/elisa-go/elisa/internal/shm"
+	"github.com/elisa-go/elisa/internal/simtime"
+	"github.com/elisa-go/elisa/internal/stats"
+	"github.com/elisa-go/elisa/internal/trace"
+)
+
+// This file is the exit-less ring datapath: a per-attachment SPSC
+// descriptor ring (shm.CallRing) the guest submits operations into from
+// its default context — no exits, no gate — plus the two drain sides that
+// service it. The *gate flush* is the guest itself taking one 196 ns
+// crossing and running every queued descriptor back-to-back in the sub
+// context (the adaptive-batching path: N ops amortise one crossing). The
+// *manager poller* (Manager.DrainRings) is host-side manager code walking
+// the same ring through the manager VM's own mappings on its own clock —
+// the budget-bounded polling loop the fleet scheduler interleaves with
+// tenant quanta. Either way a submitted descriptor is completed exactly
+// once, in submission order, onto the completion queue the guest polls
+// exit-lessly.
+//
+// Lock order (deadlock rule for the whole file): pollMu > drainMu > m.mu.
+// Nothing may take a ring's drainMu — or free a ring's memory — while
+// holding m.mu, because both drain paths briefly take m.mu per descriptor
+// (dispatch lookup, revoke checks). Revoke/hcDetach therefore fail a
+// ring's queued descriptors only *after* releasing m.mu, and the
+// post-mortem paths free ring regions under pollMu so a concurrent
+// DrainRings can never touch freed frames.
+
+// HCRingSetup negotiates a call ring for an existing attachment:
+// args = (virtual slot, ring depth). The hypercall return value is the
+// guest-physical address where the ring is now mapped (read-write, in
+// both the guest's default context and the attachment's sub context).
+// Issuing it again for the same attachment is idempotent and returns the
+// existing ring. Like every negotiation it is a slow path taken once.
+const HCRingSetup uint64 = 0xE115A004
+
+// Ring geometry limits.
+const (
+	// DefaultRingDepth is the ring depth RingConfig zero values pick.
+	DefaultRingDepth = 64
+	// MaxRingDepth caps the negotiable ring depth.
+	MaxRingDepth = 4096
+)
+
+// RingConfig configures Handle.Ring.
+type RingConfig struct {
+	// Depth is the ring's slot count (power of two, at most MaxRingDepth;
+	// 0 picks DefaultRingDepth). Submission and completion queues have the
+	// same depth.
+	Depth int
+	// Deadline is the adaptive batching window: a Submit whose oldest
+	// queued descriptor has been waiting at least this long takes the gate
+	// and flushes the whole batch. Zero means flush on every Submit — the
+	// degenerate per-op mode, equivalent in cost to Handle.Call. Callers
+	// that rely on the manager poller (fleet mode) set a large deadline so
+	// the gate is only a latency backstop.
+	Deadline simtime.Duration
+}
+
+// ringState is the manager-side half of one attachment's call ring.
+type ringState struct {
+	// drainMu serialises the single consumer role on the submission queue
+	// (gate flush vs. manager poller) and, with it, completion production.
+	// It is a host-side lock, never held across guest-visible waits.
+	drainMu sync.Mutex
+
+	region *hv.HostRegion // the ring's backing memory
+	gpa    mem.GPA        // guest-visible base (default ctx and sub ctx)
+	depth  int
+
+	// host is the manager poller's view (charges the manager clock); free
+	// is a nil-clock view for stats snapshots, which must not perturb
+	// simulated time.
+	host *shm.CallRing
+	free *shm.CallRing
+
+	// Manager-VM default-context addresses of the attachment's object and
+	// exchange buffer, so host-side drains build the same CallContext a
+	// gate call would (just with the manager's vCPU doing the work).
+	mgrObjGPA  mem.GPA
+	mgrExchGPA mem.GPA
+
+	// accounting (atomics: flushed on the guest's goroutine, drained on
+	// the poller's, read by stats snapshots).
+	flushes atomic.Uint64 // gate flushes that drained >= 1 descriptor
+	flushed atomic.Uint64 // descriptors completed by gate flushes
+	drains  atomic.Uint64 // poller passes that drained >= 1 descriptor
+	drained atomic.Uint64 // descriptors completed by the poller
+	failed  atomic.Uint64 // descriptors completed administratively (CompErr on revoke/detach)
+
+	// batch-size distribution across both drain sides.
+	batchMu sync.Mutex
+	batch   *stats.Histogram
+}
+
+func (rs *ringState) recordBatch(n int) {
+	rs.batchMu.Lock()
+	rs.batch.Record(int64(n))
+	rs.batchMu.Unlock()
+}
+
+// batchSnapshot returns an independent copy of the batch-size histogram.
+func (rs *ringState) batchSnapshot() *stats.Histogram {
+	rs.batchMu.Lock()
+	defer rs.batchMu.Unlock()
+	return rs.batch.Clone()
+}
+
+// hcRingSetup services HCRingSetup: allocate and format the ring, map it
+// into the guest's default context and the attachment's sub context at
+// the same GPA, and map the attachment's object and exchange into the
+// manager VM so host-side drains can service descriptors.
+func (m *Manager) hcRingSetup(vm *hv.VM, args [4]uint64) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.fireNegotiate(vm, "ring-setup"); err != nil {
+		return 0, err
+	}
+	gs, ok := m.guests[vm.ID()]
+	if !ok {
+		return 0, fmt.Errorf("core: guest %q has no ELISA state", vm.Name())
+	}
+	vslot := int(args[0])
+	a := gs.vslots[vslot]
+	if a == nil || a.revoked {
+		return 0, fmt.Errorf("core: guest %q has no live attachment at virtual slot %d", vm.Name(), vslot)
+	}
+	if a.ring != nil {
+		if int(args[1]) != 0 && int(args[1]) != a.ring.depth {
+			return 0, fmt.Errorf("core: attachment %q/%q already has a ring of depth %d",
+				vm.Name(), a.obj.name, a.ring.depth)
+		}
+		return uint64(a.ring.gpa), nil
+	}
+	depth := int(args[1])
+	if depth == 0 {
+		depth = DefaultRingDepth
+	}
+	if depth < 0 || depth&(depth-1) != 0 || depth > MaxRingDepth {
+		return 0, fmt.Errorf("core: ring depth %d must be a power of two at most %d", depth, MaxRingDepth)
+	}
+
+	region, err := m.hv.AllocHostRegion(shm.CallRingBytes(depth))
+	if err != nil {
+		return 0, err
+	}
+	gpa := vm.AllocRegionGPA(region.Pages())
+	if err := region.MapIntoTable(vm.DefaultEPT(), gpa, ept.PermRW); err != nil {
+		return 0, err
+	}
+	if err := region.MapIntoTable(a.subCtx, gpa, ept.PermRW); err != nil {
+		return 0, err
+	}
+
+	// Format through a manager-clock window: building the ring is
+	// manager-side work, like the rest of negotiation.
+	mclk := m.vm.VCPU().Clock()
+	hw, err := shm.NewHostWindow(region, mclk)
+	if err != nil {
+		return 0, err
+	}
+	host, err := shm.InitCallRing(hw, depth)
+	if err != nil {
+		return 0, err
+	}
+	fw, err := shm.NewHostWindow(region, nil)
+	if err != nil {
+		return 0, err
+	}
+	free, err := shm.OpenCallRing(fw)
+	if err != nil {
+		return 0, err
+	}
+
+	// Host-side drains need the object and exchange in the manager VM's
+	// own address space. The object mapping is shared across all rings on
+	// the object; the exchange is per-attachment.
+	mgrObjGPA, err := m.mgrObjectGPALocked(a.obj)
+	if err != nil {
+		return 0, err
+	}
+	mgrExchGPA, err := a.exchange.MapIntoDefault(m.vm, ept.PermRW)
+	if err != nil {
+		return 0, err
+	}
+
+	a.ring = &ringState{
+		region:     region,
+		gpa:        gpa,
+		depth:      depth,
+		host:       host,
+		free:       free,
+		mgrObjGPA:  mgrObjGPA,
+		mgrExchGPA: mgrExchGPA,
+		batch:      stats.NewHistogram(),
+	}
+	m.hv.Trace().Emit(vm.VCPU().Clock().Now(), vm.Name(), trace.KindRing,
+		"object %q vslot %d depth %d gpa %#x", a.obj.name, vslot, depth, uint64(gpa))
+	// Manager-side construction work: proportional to ring pages mapped
+	// into three contexts.
+	m.vm.VCPU().Charge(simtime.Duration(3*region.Pages()) * m.hv.Cost().MemAccess)
+	return uint64(gpa), nil
+}
+
+// mgrObjectGPALocked returns (mapping on first use) the object's address
+// in the manager VM's default context. Callers hold m.mu.
+func (m *Manager) mgrObjectGPALocked(o *Object) (mem.GPA, error) {
+	if o.mgrMapped {
+		return o.mgrGPA, nil
+	}
+	gpa, err := o.region.MapIntoDefault(m.vm, ept.PermRW)
+	if err != nil {
+		return 0, err
+	}
+	o.mgrGPA = gpa
+	o.mgrMapped = true
+	return gpa, nil
+}
+
+// RingCaller drives one attachment's call ring from the guest side. It is
+// bound to the guest's vCPU and is not safe for concurrent use (one
+// producer, like the vCPU it models).
+type RingCaller struct {
+	h    *Handle
+	cfg  RingConfig
+	ring *shm.CallRing // guest-side view through the active EPT context
+	rs   *ringState
+	gpa  mem.GPA
+
+	pending      int          // descriptors we believe are queued (the poller may have fewer)
+	inFlight     int          // submitted minus polled completions
+	firstPending simtime.Time // guest-clock stamp of the oldest unflushed submit
+}
+
+// Ring negotiates (or reopens) the attachment's call ring and returns a
+// caller configured with cfg. Runs as guest code on v; the negotiation
+// hypercall is a slow path taken once, after which Submit and Poll are
+// exit-less.
+func (h *Handle) Ring(v *cpu.VCPU, cfg RingConfig) (*RingCaller, error) {
+	if v != h.g.vm.VCPU() {
+		return nil, fmt.Errorf("core: Ring on foreign vCPU")
+	}
+	if h.detached {
+		return nil, fmt.Errorf("core: Ring on detached handle %q", h.objName)
+	}
+	if cfg.Depth == 0 {
+		cfg.Depth = DefaultRingDepth
+	}
+	if cfg.Depth < 0 || cfg.Depth&(cfg.Depth-1) != 0 || cfg.Depth > MaxRingDepth {
+		return nil, fmt.Errorf("core: ring depth %d must be a power of two at most %d", cfg.Depth, MaxRingDepth)
+	}
+	var gpaU uint64
+	var err error
+	for attempt := 0; ; attempt++ {
+		gpaU, err = v.VMCall(HCRingSetup, uint64(h.subIdx), uint64(cfg.Depth))
+		if err == nil {
+			break
+		}
+		if !fault.IsTransient(err) || attempt >= fault.MaxRetries {
+			return nil, fmt.Errorf("core: ring setup on %q vslot %d: %w", h.objName, h.subIdx, err)
+		}
+		v.Charge(fault.Backoff(attempt))
+		h.g.mgr.noteRetry()
+	}
+	w, err := shm.NewGPAWindow(v, mem.GPA(gpaU), shm.CallRingBytes(cfg.Depth))
+	if err != nil {
+		return nil, err
+	}
+	ring, err := shm.OpenCallRing(w)
+	if err != nil {
+		return nil, err
+	}
+	rs := h.g.mgr.ringStateFor(h.g.vm.ID(), h.subIdx)
+	if rs == nil {
+		return nil, fmt.Errorf("core: ring setup on %q vslot %d: manager lost the ring", h.objName, h.subIdx)
+	}
+	return &RingCaller{h: h, cfg: cfg, ring: ring, rs: rs, gpa: mem.GPA(gpaU)}, nil
+}
+
+// ringStateFor returns the manager-side ring of a live attachment.
+func (m *Manager) ringStateFor(vmID, vslot int) *ringState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	gs, ok := m.guests[vmID]
+	if !ok {
+		return nil
+	}
+	a := gs.vslots[vslot]
+	if a == nil || a.revoked {
+		return nil
+	}
+	return a.ring
+}
+
+// Depth returns the ring's slot count.
+func (rc *RingCaller) Depth() int { return rc.cfg.Depth }
+
+// GPA returns the ring's guest-physical base address.
+func (rc *RingCaller) GPA() mem.GPA { return rc.gpa }
+
+// Pending returns how many submitted operations have not yet been polled
+// as completions (queued plus drained-but-unpolled).
+func (rc *RingCaller) Pending() int { return rc.inFlight }
+
+// Submit enqueues one operation on the ring — a handful of exit-less
+// memory writes in the guest's default context, no gate, no exit. The
+// adaptive policy then decides whether to take the gate now:
+//
+//   - the queue transitioned empty -> non-empty: ring the in-memory
+//     doorbell (a counter the manager poller reads; nothing traps) and
+//     start the batch-deadline clock;
+//   - Deadline is zero: flush immediately (per-op mode);
+//   - the oldest queued descriptor has waited past Deadline: flush, so
+//     batching can never add more than Deadline to an op's latency;
+//   - the queue is full: flush to make room.
+//
+// Results arrive in submission order via Poll.
+func (rc *RingCaller) Submit(v *cpu.VCPU, fnID uint64, args ...uint64) error {
+	if v != rc.h.g.vm.VCPU() {
+		return fmt.Errorf("core: Submit on foreign vCPU")
+	}
+	if len(args) > 4 {
+		return fmt.Errorf("core: Submit takes at most 4 args, got %d", len(args))
+	}
+	var d shm.Desc
+	d.Fn = fnID
+	copy(d.Args[:], args)
+	ok, err := rc.ring.PushDesc(d)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		// Queue full (the poller has not kept up): flush the backlog
+		// through the gate, then retry the push on the now-empty queue.
+		if err := rc.Flush(v); err != nil {
+			return err
+		}
+		if ok, err = rc.ring.PushDesc(d); err != nil {
+			return err
+		} else if !ok {
+			return fmt.Errorf("core: ring %q/%q still full after flush", rc.h.g.vm.Name(), rc.h.objName)
+		}
+	}
+	if rc.pending == 0 {
+		// Empty -> non-empty: doorbell for the poller, deadline clock for
+		// the flush policy.
+		if err := rc.ring.Kick(); err != nil {
+			return err
+		}
+		rc.firstPending = v.Clock().Now()
+	}
+	rc.pending++
+	rc.inFlight++
+	if rc.cfg.Deadline == 0 {
+		return rc.Flush(v)
+	}
+	if v.Clock().Now().Sub(rc.firstPending) >= rc.cfg.Deadline {
+		return rc.Flush(v)
+	}
+	if rc.pending >= rc.cfg.Depth {
+		return rc.Flush(v)
+	}
+	return nil
+}
+
+// Flush takes one gate crossing and services every queued descriptor
+// back-to-back in the sub context — the batching path: N descriptors
+// share one 196 ns crossing. Descriptors the manager poller drained in
+// the meantime are simply no longer queued; a flush that finds the queue
+// empty takes no crossing at all. Completion statuses land on the
+// completion queue for Poll; Flush itself fails only on protocol errors
+// (foreign vCPU, refused gate, fatal fault).
+func (rc *RingCaller) Flush(v *cpu.VCPU) error {
+	if v != rc.h.g.vm.VCPU() {
+		return fmt.Errorf("core: Flush on foreign vCPU")
+	}
+	h := rc.h
+	mgr := h.g.mgr
+	cost := v.Cost()
+
+	// Peek from the default context: an empty queue (the poller won) means
+	// no crossing. The read is exit-less shared-memory traffic.
+	queued, err := rc.ring.ProducerPending()
+	if err != nil {
+		return err
+	}
+	if queued == 0 {
+		rc.pending = 0
+		return nil
+	}
+
+	rec := mgr.rec
+	var t0, tGate, tSub, tFn simtime.Time
+	var exchange simtime.Duration
+	var exchp *simtime.Duration
+	if rec != nil {
+		t0 = v.Clock().Now()
+		exchp = &exchange
+	}
+
+	phys, err := h.ensureBacked(v)
+	if err != nil {
+		return err
+	}
+
+	// Inbound crossing (identical to Call/CallMulti).
+	if err := v.FetchExec(h.gateGVA); err != nil {
+		return err
+	}
+	v.Charge(cost.GateCode)
+	if err := v.VMFunc(cpu.VMFuncLeafEPTPSwitch, IdxGate); err != nil {
+		return err
+	}
+	if rec != nil {
+		tGate = v.Clock().Now()
+	}
+	if err := v.FetchExec(h.gateGVA); err != nil {
+		return err
+	}
+	if !mgr.gateAllowsBinding(h.g.vm.ID(), h.subIdx, phys) {
+		if err := v.VMFunc(cpu.VMFuncLeafEPTPSwitch, IdxDefault); err != nil {
+			return err
+		}
+		if rec != nil {
+			now := v.Clock().Now()
+			h.recordSpan(rec, 0, queued, true, t0, tGate, now, now, now, 0)
+		}
+		return fmt.Errorf("core: gate refused slot %d for guest %q", h.subIdx, h.g.vm.Name())
+	}
+	if err := v.VMFunc(cpu.VMFuncLeafEPTPSwitch, phys); err != nil {
+		return err
+	}
+	if rec != nil {
+		tSub = v.Clock().Now()
+	}
+
+	if inj := mgr.inj; inj != nil {
+		if in := inj.Fire(fault.PointGateEntry, h.g.vm.Name(), v.Clock().Now()); in != nil {
+			mgr.crashMidGate(h.g.vm, in)
+			return fmt.Errorf("core: guest %q died in sub context: %w", h.g.vm.Name(), fault.ErrInjected)
+		}
+	}
+
+	// Drain inside the sub context: the ring is mapped here at the same
+	// GPA, so the same window works. drainMu makes us the sole submission
+	// consumer while we run (the poller waits); the lock cost models the
+	// manager-side spinlock the real implementation would take.
+	rs := rc.rs
+	rs.drainMu.Lock()
+	v.Charge(cost.LockAcquire)
+	var firstFn uint64
+	n := 0
+	drainErr := func() error {
+		// One cursor snapshot for the whole batch; per-descriptor work
+		// touches only record bytes. An early return on vCPU death
+		// abandons the transaction unpublished — the batch stays queued
+		// for the administrative failure path (transactional crashes).
+		txn, err := rc.ring.BeginDrain()
+		if err != nil {
+			return err
+		}
+		// Completion-queue backpressure: never pop a descriptor whose
+		// completion cannot be delivered.
+		for txn.CQFree() > 0 {
+			d, ok, err := txn.PopDesc()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			if n == 0 {
+				firstFn = d.Fn
+			}
+			var reqStart simtime.Time
+			if rec != nil {
+				reqStart = v.Clock().Now()
+			}
+			ret, ferr := mgr.invoke(v, h, d.Fn, d.Args[:], exchp)
+			if v.Dead() {
+				return ferr
+			}
+			comp := shm.Comp{Ret: ret, Status: shm.CompOK}
+			if ferr != nil {
+				comp.Status = shm.CompErr
+			}
+			if ok, err := txn.PushComp(comp); err != nil {
+				return err
+			} else if !ok {
+				return fmt.Errorf("core: ring %q/%q completion queue overflow", h.g.vm.Name(), h.objName)
+			}
+			if rec != nil {
+				rec.RecordLatency(h.g.vm.Name(), h.objName, d.Fn, v.Clock().Elapsed(reqStart))
+			}
+			n++
+		}
+		return txn.Close()
+	}()
+	v.Charge(cost.LockRelease)
+	rs.drainMu.Unlock()
+	if drainErr != nil {
+		return drainErr
+	}
+	if n > 0 {
+		rs.flushes.Add(1)
+		rs.flushed.Add(uint64(n))
+		rs.recordBatch(n)
+		rec.RecordRingBatch(h.g.vm.Name(), h.objName, n)
+	}
+	if rec != nil {
+		tFn = v.Clock().Now()
+	}
+
+	// Outbound crossing.
+	if err := v.FetchExec(h.gateGVA); err != nil {
+		return err
+	}
+	if err := v.VMFunc(cpu.VMFuncLeafEPTPSwitch, IdxGate); err != nil {
+		return err
+	}
+	if err := v.FetchExec(h.gateGVA); err != nil {
+		return err
+	}
+	v.Charge(cost.GateCode)
+	if err := v.VMFunc(cpu.VMFuncLeafEPTPSwitch, IdxDefault); err != nil {
+		return err
+	}
+	if err := v.FetchExec(h.gateGVA); err != nil {
+		return err
+	}
+	mgr.noteGateExit(h.g.vm.ID())
+	if rec != nil {
+		h.recordSpan(rec, firstFn, n, false, t0, tGate, tSub, tFn, v.Clock().Now(), exchange)
+	}
+	rc.pending = 0
+	return nil
+}
+
+// Poll pops up to len(out) completions from the guest's default context —
+// exit-less shared-memory reads, no gate. It returns how many completions
+// were delivered (possibly zero: nothing has been drained yet).
+func (rc *RingCaller) Poll(v *cpu.VCPU, out []shm.Comp) (int, error) {
+	if v != rc.h.g.vm.VCPU() {
+		return 0, fmt.Errorf("core: Poll on foreign vCPU")
+	}
+	n := 0
+	for n < len(out) {
+		c, ok, err := rc.ring.PopComp()
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			break
+		}
+		out[n] = c
+		n++
+		if rc.inFlight > 0 {
+			rc.inFlight--
+		}
+	}
+	return n, nil
+}
+
+// DrainRings is the manager-side poller: walk every live ring in
+// deterministic order and service queued descriptors on the manager VM's
+// own vCPU (its clock pays for the work, as host-side manager code). At
+// most budget descriptors are serviced per call (budget <= 0 means no
+// bound); the fleet scheduler interleaves bounded passes with tenant
+// quanta so polling cannot starve the cores.
+//
+// DrainRings serialises on an internal lock, and the drained work charges
+// the manager vCPU's clock — callers must not race it against other
+// manager-clock work (negotiations) from concurrent goroutines if they
+// need deterministic timings.
+func (m *Manager) DrainRings(budget int) (int, error) {
+	m.pollMu.Lock()
+	defer m.pollMu.Unlock()
+
+	// Snapshot the live rings in (VM id, vslot) order.
+	type target struct {
+		a  *Attachment
+		rs *ringState
+	}
+	m.mu.Lock()
+	ids := make([]int, 0, len(m.guests))
+	for id := range m.guests {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var targets []target
+	for _, id := range ids {
+		gs := m.guests[id]
+		vslots := make([]int, 0, len(gs.vslots))
+		for vs := range gs.vslots {
+			vslots = append(vslots, vs)
+		}
+		sort.Ints(vslots)
+		for _, vs := range vslots {
+			a := gs.vslots[vs]
+			if a != nil && !a.revoked && a.ring != nil {
+				targets = append(targets, target{a, a.ring})
+			}
+		}
+	}
+	m.mu.Unlock()
+
+	total := 0
+	for _, t := range targets {
+		if budget > 0 && total >= budget {
+			break
+		}
+		left := -1
+		if budget > 0 {
+			left = budget - total
+		}
+		n, err := m.drainRing(t.a, t.rs, left)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// drainRing services up to limit descriptors of one ring (limit < 0: all
+// queued) as host-side manager code. Callers hold pollMu.
+func (m *Manager) drainRing(a *Attachment, rs *ringState, limit int) (int, error) {
+	rs.drainMu.Lock()
+	defer rs.drainMu.Unlock()
+	clk := m.vm.VCPU().Clock()
+	cost := m.hv.Cost()
+	clk.Advance(cost.LockAcquire)
+	defer clk.Advance(cost.LockRelease)
+	txn, err := rs.host.BeginDrain()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for limit < 0 || n < limit {
+		if txn.CQFree() <= 0 {
+			break // completion backpressure: wait for the guest to poll
+		}
+		d, ok, err := txn.PopDesc()
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			break
+		}
+		ret, ferr := m.invokeHost(a, rs, d.Fn, d.Args)
+		comp := shm.Comp{Ret: ret, Status: shm.CompOK}
+		if ferr != nil {
+			comp.Status = shm.CompErr
+		}
+		if ok, err := txn.PushComp(comp); err != nil {
+			return n, err
+		} else if !ok {
+			return n, fmt.Errorf("core: ring %q/%q completion queue overflow", a.guest.Name(), a.obj.name)
+		}
+		n++
+	}
+	if err := txn.Close(); err != nil {
+		return n, err
+	}
+	if n > 0 {
+		rs.drains.Add(1)
+		rs.drained.Add(uint64(n))
+		rs.recordBatch(n)
+		m.rec.RecordRingBatch(a.guest.Name(), a.obj.name, n)
+	}
+	return n, nil
+}
+
+// invokeHost dispatches one ring descriptor as host-side manager code:
+// same function table and CallContext shape as a gate call, but the vCPU
+// is the manager VM's own and the object/exchange windows are its
+// default-context mappings. The manager lock is held only for the
+// dispatch lookups.
+func (m *Manager) invokeHost(a *Attachment, rs *ringState, fnID uint64, args [4]uint64) (uint64, error) {
+	m.mu.Lock()
+	if a.revoked {
+		m.mu.Unlock()
+		err := fmt.Errorf("core: attachment %q/%q revoked", a.guest.Name(), a.obj.name)
+		a.recordCall(err)
+		return 0, err
+	}
+	fn, ok := m.funcs[fnID]
+	ctx := &CallContext{
+		VCPU:         m.vm.VCPU(),
+		Object:       rs.mgrObjGPA,
+		ObjectSize:   a.obj.size,
+		Exchange:     rs.mgrExchGPA,
+		ExchangeSize: a.exchange.Size(),
+		GuestID:      a.guest.ID(),
+	}
+	m.mu.Unlock()
+	if !ok {
+		err := fmt.Errorf("core: unknown manager function %d", fnID)
+		a.recordCall(err)
+		return 0, err
+	}
+	ctx.Args = args
+	ret, err := fn(ctx)
+	a.recordCall(err)
+	return ret, err
+}
+
+// failRing administratively completes every queued descriptor of a dying
+// attachment with CompErr, so a revoked or detached ring never strands
+// submissions: the guest's next Poll sees a failed completion for each.
+// MUST be called WITHOUT m.mu held (lock order: pollMu > drainMu > m.mu).
+func (m *Manager) failRing(a *Attachment, rs *ringState) {
+	if rs == nil {
+		return
+	}
+	m.pollMu.Lock()
+	defer m.pollMu.Unlock()
+	rs.drainMu.Lock()
+	defer rs.drainMu.Unlock()
+	txn, err := rs.host.BeginDrain()
+	if err != nil {
+		return
+	}
+	for txn.CQFree() > 0 {
+		_, ok, err := txn.PopDesc()
+		if err != nil || !ok {
+			break
+		}
+		if ok, err := txn.PushComp(shm.Comp{Status: shm.CompErr}); err != nil || !ok {
+			break
+		}
+		rs.failed.Add(1)
+	}
+	_ = txn.Close()
+}
+
+// releaseRings frees ring backing memory post-mortem. It takes pollMu so
+// a concurrent DrainRings pass can never touch freed frames. MUST be
+// called WITHOUT m.mu held.
+func (m *Manager) releaseRings(regions []*hv.HostRegion) error {
+	if len(regions) == 0 {
+		return nil
+	}
+	m.pollMu.Lock()
+	defer m.pollMu.Unlock()
+	for _, r := range regions {
+		if err := r.Free(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// detachRingLocked unhooks an attachment's ring for post-mortem release
+// and returns its backing region. Callers hold m.mu; the returned region
+// must be handed to releaseRings after m.mu is dropped.
+func detachRingLocked(a *Attachment) *hv.HostRegion {
+	if a.ring == nil {
+		return nil
+	}
+	region := a.ring.region
+	a.ring = nil
+	return region
+}
+
+// RingStats is one ring's accounting snapshot (see Manager.RingStats).
+type RingStats struct {
+	// Guest and Object name the attachment the ring belongs to.
+	Guest  string
+	Object string
+	// VSlot is the attachment's virtual slot ID.
+	VSlot int
+	// Depth is the ring's slot count.
+	Depth int
+	// Queued is the current submission-queue occupancy.
+	Queued int
+	// Ready is the current completion-queue occupancy (drained, unpolled).
+	Ready int
+	// Submitted and Completed are lifetime descriptor counts.
+	Submitted uint64
+	Completed uint64
+	// Kicks counts empty->non-empty doorbell rings.
+	Kicks uint64
+	// Flushes and Flushed count gate-path drains and the descriptors they
+	// serviced; Drains and Drained are the manager poller's counterparts.
+	Flushes uint64
+	Flushed uint64
+	Drains  uint64
+	Drained uint64
+	// Failed counts descriptors completed administratively (CompErr) when
+	// the attachment was revoked or detached with work still queued.
+	Failed uint64
+	// BatchP50 and BatchP99 are percentiles of the batch-size
+	// distribution across both drain sides.
+	BatchP50 int64
+	BatchP99 int64
+}
+
+// RingStats snapshots every ring's accounting, including rings of revoked
+// attachments not yet cleaned up, in (guest, vslot) order. Snapshot reads
+// go through a nil-clock window: observation never charges simulated
+// time.
+func (m *Manager) RingStats() []RingStats {
+	type target struct {
+		guest  string
+		object string
+		vslot  int
+		rs     *ringState
+	}
+	m.mu.Lock()
+	ids := make([]int, 0, len(m.guests))
+	for id := range m.guests {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var targets []target
+	for _, id := range ids {
+		gs := m.guests[id]
+		vslots := make([]int, 0, len(gs.vslots))
+		for vs := range gs.vslots {
+			vslots = append(vslots, vs)
+		}
+		sort.Ints(vslots)
+		for _, vs := range vslots {
+			a := gs.vslots[vs]
+			if a != nil && a.ring != nil {
+				targets = append(targets, target{gs.vm.Name(), a.obj.name, vs, a.ring})
+			}
+		}
+	}
+	m.mu.Unlock()
+
+	// pollMu excludes post-mortem ring release while the snapshot reads
+	// ring memory (observation still charges nothing: the window's clock
+	// is nil, and pollMu is a host-side lock outside simulated time).
+	m.pollMu.Lock()
+	defer m.pollMu.Unlock()
+	out := make([]RingStats, 0, len(targets))
+	for _, t := range targets {
+		rs := t.rs
+		st := RingStats{
+			Guest:   t.guest,
+			Object:  t.object,
+			VSlot:   t.vslot,
+			Depth:   rs.depth,
+			Flushes: rs.flushes.Load(),
+			Flushed: rs.flushed.Load(),
+			Drains:  rs.drains.Load(),
+			Drained: rs.drained.Load(),
+			Failed:  rs.failed.Load(),
+		}
+		// The free window never errors on a live region; a racing teardown
+		// is excluded by snapshotting under m.mu above and freeing under
+		// pollMu, so plain reads are safe here.
+		st.Queued, _ = rs.free.SubmitLen()
+		st.Ready, _ = rs.free.CompLen()
+		st.Submitted, _ = rs.free.Submitted()
+		st.Completed, _ = rs.free.Completed()
+		st.Kicks, _ = rs.free.Kicks()
+		b := rs.batchSnapshot()
+		st.BatchP50 = b.Percentile(0.50)
+		st.BatchP99 = b.Percentile(0.99)
+		out = append(out, st)
+	}
+	return out
+}

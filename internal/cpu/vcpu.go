@@ -54,6 +54,7 @@ const (
 	ExitShutdown                       // triple-fault equivalent; guest is dead
 )
 
+// String names the exit reason for traces and error messages.
 func (r ExitReason) String() string {
 	switch r {
 	case ExitHypercall:
@@ -104,10 +105,12 @@ type Killed struct {
 	Cause  error
 }
 
+// Error describes which vCPU died and why.
 func (k *Killed) Error() string {
 	return fmt.Sprintf("vcpu %d killed on %v: %v", k.VCPU, k.Reason, k.Cause)
 }
 
+// Unwrap exposes the underlying cause to errors.Is/As.
 func (k *Killed) Unwrap() error { return k.Cause }
 
 // VMCS is the slice of the virtual-machine control structure the model

@@ -33,6 +33,7 @@ const (
 // Can reports whether p grants every bit in access.
 func (p Perm) Can(access Perm) bool { return p&access == access }
 
+// String renders the permission bits ls-style ("rw-", "r-x", ...).
 func (p Perm) String() string {
 	b := [3]byte{'-', '-', '-'}
 	if p&PermRead != 0 {
@@ -57,6 +58,8 @@ type Violation struct {
 	Level   int     // table level at which the walk stopped (4..1, 0 = leaf)
 }
 
+// Error describes the violation: the address, what the access needed,
+// and what the walk found.
 func (v *Violation) Error() string {
 	if v.Allowed == 0 {
 		return fmt.Sprintf("ept violation: %v not mapped (needed %v, walk stopped at level %d)", v.Addr, v.Access, v.Level)
@@ -87,6 +90,7 @@ type Pointer mem.HPA
 // NilPointer is the zero EPTP; no context ever has it.
 const NilPointer Pointer = 0
 
+// String renders the EPTP for traces and dumps.
 func (p Pointer) String() string { return fmt.Sprintf("eptp:%#x", uint64(p)) }
 
 // Table is one EPT: a 4-level translation from GPA to HPA. The zero value

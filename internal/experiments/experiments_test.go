@@ -13,6 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig_memcached",
 		"ablation_batch", "ablation_callmulti", "ablation_contexts", "ablation_negotiation", "ablation_tlb",
 		"ext_consolidation", "ext_fault_recovery", "ext_fleet_scaling", "ext_hugepages", "ext_memory",
+		"ext_ring_batching",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -67,5 +68,42 @@ func TestCalibrationTable2(t *testing.T) {
 	}
 	if vmcall != 699 {
 		t.Errorf("VMCALL RTT = %dns, want 699 (paper Table 2)", int64(vmcall))
+	}
+}
+
+// Same seed, same machine: the ring-batching experiment must render
+// byte-identical reports across runs — the determinism property every
+// experiment inherits from the simulated clock.
+func TestRingBatchingDeterministic(t *testing.T) {
+	e, ok := ByID("ext_ring_batching")
+	if !ok {
+		t.Fatal("ext_ring_batching not registered")
+	}
+	run := func() string {
+		tbl, err := e.Run(Config{Quick: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic report:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+// The ring datapath's acceptance floor: at batch depth 8 the VM-to-VM
+// workload must move at least twice the per-op Call throughput.
+func TestRingBatchingSpeedupFloor(t *testing.T) {
+	const size, total = 64, 400
+	base, err := runPerOpVV(size, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpps, _, _, _, err := runRingVVPoint(8, size, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := mpps / base; ratio < 2.0 {
+		t.Fatalf("ring depth 8 speedup = %.2fx (%.2f vs %.2f Mpps), below the 2x floor", ratio, mpps, base)
 	}
 }

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/elisa-go/elisa/internal/core"
+	"github.com/elisa-go/elisa/internal/hv"
+	"github.com/elisa-go/elisa/internal/mem"
+	"github.com/elisa-go/elisa/internal/shm"
+	"github.com/elisa-go/elisa/internal/simtime"
+	"github.com/elisa-go/elisa/internal/stats"
+	"github.com/elisa-go/elisa/internal/vnet"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ext_ring_batching",
+		Title: "Extension: ring datapath — throughput and p99 vs batch depth and flush deadline",
+		Paper: "extension of the paper's batching argument (§6.1 amortises the 699ns VMCALL over N descriptors): the exit-less ring amortises the 196ns VMFUNC crossing itself, trading submit-to-completion latency for per-op gate cost",
+		Run:   runRingBatching,
+	})
+}
+
+// ringDepths is the batch-depth sweep of the VM-to-VM half.
+var ringDepths = []int{1, 2, 4, 8, 16, 32, 64}
+
+// ringDeadlines is the flush-deadline sweep of the paced half, at fixed
+// depth 64.
+var ringDeadlines = []simtime.Duration{
+	0,
+	500 * simtime.Nanosecond,
+	1 * simtime.Microsecond,
+	4 * simtime.Microsecond,
+	16 * simtime.Microsecond,
+}
+
+// runRingBatching measures the ring datapath on two axes.
+//
+// Depth sweep: the vnet VM-to-VM workload (64B frames) on RingVVPath
+// with an effectively infinite deadline, so gate crossings happen only
+// when the ring fills — batch size == depth. The baseline row is the
+// same topology driven one Call per frame.
+//
+// Deadline sweep: a paced open-loop submitter (one no-op descriptor
+// every 100 simulated ns, faster than the 196ns per-call gate) at depth
+// 64, sweeping the adaptive flush deadline. Short deadlines buy low
+// submit-to-completion latency at one crossing per op; long deadlines
+// amortise the crossing across the whole ring and the p99 grows to the
+// time the ring takes to fill.
+func runRingBatching(cfg Config) (*stats.Table, error) {
+	const frameSize = 64
+	frames := cfg.ops(4000, 400)
+	paced := cfg.ops(20000, 2000)
+
+	t := stats.NewTable(
+		"Ring batching: throughput and p99 vs batch depth / flush deadline",
+		"Point", "Mpps|Mops", "speedup", "p99 [ns]", "gates/desc", "batch p50")
+
+	base, err := runPerOpVV(frameSize, frames)
+	if err != nil {
+		return nil, fmt.Errorf("per-op baseline: %w", err)
+	}
+	t.AddRow("vv per-op call", base, 1.0, "-", 1.0, 1)
+
+	var speedup8 float64
+	for _, depth := range ringDepths {
+		mpps, p99, gates, b50, err := runRingVVPoint(depth, frameSize, frames)
+		if err != nil {
+			return nil, fmt.Errorf("ring depth %d: %w", depth, err)
+		}
+		if depth == 8 {
+			speedup8 = mpps / base
+		}
+		t.AddRow(fmt.Sprintf("vv ring depth=%d", depth), mpps, mpps/base, p99, gates, b50)
+	}
+
+	for _, d := range ringDeadlines {
+		mops, p99, gates, b50, err := runRingDeadlinePoint(d, paced)
+		if err != nil {
+			return nil, fmt.Errorf("ring deadline %s: %w", d, err)
+		}
+		t.AddRow(fmt.Sprintf("paced d=64 deadline=%s", d), mops, "-", p99, gates, b50)
+	}
+
+	t.AddNote("vv rows: 64B frames, deadline=inf so flushes happen at depth; speedup at depth 8 = %.2fx (acceptance floor 2x)", speedup8)
+	t.AddNote("paced rows: open-loop no-op submits every 100ns at depth 64; the flush deadline trades p99 wait for gate crossings per descriptor")
+	return t, nil
+}
+
+// runPerOpVV drives the per-call ELISA VM-to-VM path one frame per
+// crossing — Send(1)/Recv(1), so every frame pays the full 196ns gate on
+// each side. Returns throughput in Mpps.
+func runPerOpVV(size, total int) (float64, error) {
+	p, err := vnet.BuildVVPath("elisa")
+	if err != nil {
+		return 0, err
+	}
+	res, err := vnet.RunVVBatch(p, size, total, 1)
+	if err != nil {
+		return 0, err
+	}
+	return res.Mpps, nil
+}
+
+// runRingVVPoint runs the VM-to-VM workload over a fresh ring path at
+// one batch depth. Returns throughput [Mpps], sender p99 wait [ns],
+// gate crossings per serviced descriptor, and the rings' median batch
+// size.
+func runRingVVPoint(depth, size, total int) (float64, int64, float64, int64, error) {
+	p, err := vnet.BuildRingVVPath(vnet.RingVVConfig{
+		Ring:     core.RingConfig{Depth: depth, Deadline: simtime.Second},
+		MaxFrame: size,
+	})
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	res, err := vnet.RunVVBatch(p, size, total, depth)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	var gates, descs, b50 int64
+	for _, rs := range p.RingStats() {
+		gates += int64(rs.Flushes + rs.Drains)
+		descs += int64(rs.Flushed + rs.Drained)
+		if rs.BatchP50 > b50 {
+			b50 = rs.BatchP50
+		}
+	}
+	var perDesc float64
+	if descs > 0 {
+		perDesc = float64(gates) / float64(descs)
+	}
+	return res.Mpps, p.TxLatency().Percentile(99), perDesc, b50, nil
+}
+
+// runRingDeadlinePoint paces no-op descriptor submissions every 100ns on
+// a fresh machine at depth 64 and sweeps the flush deadline. Completions
+// are only ever polled (never force-flushed mid-run), so a descriptor
+// waits in the submission queue until the adaptive policy — deadline
+// expiry or a full ring — takes a crossing. Returns effective throughput
+// [Mops], p99 submit-to-completion wait [ns], gate crossings per
+// descriptor, and the ring's median batch size.
+func runRingDeadlinePoint(deadline simtime.Duration, total int) (float64, int64, float64, int64, error) {
+	const depth = 64
+	const gap = 100 * simtime.Nanosecond
+	h, err := hv.New(hv.Config{PhysBytes: 256 * 1024 * 1024})
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	mgr, err := core.NewManager(h, core.ManagerConfig{})
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	const fn = 0xB47C0001
+	if err := mgr.RegisterFunc(fn, func(*core.CallContext) (uint64, error) { return 0, nil }); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if _, err := mgr.CreateObject("ring-bench", mem.PageSize); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	vm, err := h.CreateVM("rb-guest", 64*mem.PageSize)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	g, err := core.NewGuest(vm, mgr)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	hd, err := g.Attach("ring-bench")
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	v := g.VM().VCPU()
+	rc, err := hd.Ring(v, core.RingConfig{Depth: depth, Deadline: deadline})
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+
+	lat := stats.NewHistogram()
+	stamps := make([]simtime.Time, 0, depth)
+	var comps [depth]shm.Comp
+	harvest := func() error {
+		n, err := rc.Poll(v, comps[:])
+		if err != nil {
+			return err
+		}
+		now := v.Clock().Now()
+		for i := 0; i < n; i++ {
+			if comps[i].Status != shm.CompOK {
+				return fmt.Errorf("descriptor failed")
+			}
+			lat.RecordDuration(now.Sub(stamps[i]))
+		}
+		stamps = stamps[n:]
+		return nil
+	}
+
+	start := v.Clock().Now()
+	for i := 0; i < total; i++ {
+		v.Charge(gap)
+		stamps = append(stamps, v.Clock().Now())
+		if err := rc.Submit(v, fn); err != nil {
+			return 0, 0, 0, 0, err
+		}
+		if err := harvest(); err != nil {
+			return 0, 0, 0, 0, err
+		}
+	}
+	for len(stamps) > 0 {
+		if err := rc.Flush(v); err != nil {
+			return 0, 0, 0, 0, err
+		}
+		if err := harvest(); err != nil {
+			return 0, 0, 0, 0, err
+		}
+	}
+	elapsed := v.Clock().Elapsed(start)
+
+	var gates, descs, b50 int64
+	for _, rs := range mgr.RingStats() {
+		gates += int64(rs.Flushes + rs.Drains)
+		descs += int64(rs.Flushed + rs.Drained)
+		if rs.BatchP50 > b50 {
+			b50 = rs.BatchP50
+		}
+	}
+	var perDesc float64
+	if descs > 0 {
+		perDesc = float64(gates) / float64(descs)
+	}
+	return stats.Throughput(int64(total), elapsed) / 1e6, lat.Percentile(99), perDesc, b50, nil
+}

@@ -21,6 +21,7 @@ import (
 	"github.com/elisa-go/elisa/internal/des"
 	"github.com/elisa-go/elisa/internal/fault"
 	"github.com/elisa-go/elisa/internal/hv"
+	"github.com/elisa-go/elisa/internal/shm"
 	"github.com/elisa-go/elisa/internal/simtime"
 	"github.com/elisa-go/elisa/internal/stats"
 	"github.com/elisa-go/elisa/internal/workload"
@@ -51,6 +52,21 @@ type Config struct {
 	// PumpEvery is the virtual-time period of the fault pump / recovery
 	// sweep while a plan is armed (default: the scheduling Quantum).
 	PumpEvery simtime.Duration
+	// RingDepth, when positive, switches every tenant's datapath from one
+	// gate crossing per op to the exit-less call ring: ops are enqueued as
+	// descriptors (power-of-two depth), and gate crossings happen only on
+	// the adaptive policy's terms. Zero keeps the per-call path.
+	RingDepth int
+	// RingDeadline is the tenants' adaptive batching deadline — the
+	// longest a queued op may wait before its guest takes the gate
+	// (default: the scheduling Quantum). Only meaningful with RingDepth.
+	RingDeadline simtime.Duration
+	// PollBudget bounds how many ring descriptors one manager poller pass
+	// services; the scheduler interleaves one pass per dispatched quantum
+	// so polling cannot starve the cores (default 64; negative disables
+	// the poller, leaving rings to the tenants' own gate flushes). Only
+	// meaningful with RingDepth.
+	PollBudget int
 }
 
 // TenantSpec describes one tenant to admit.
@@ -87,6 +103,12 @@ type Tenant struct {
 	guest   *core.Guest
 	handles []*core.Handle
 	arrival *workload.Poisson
+
+	// ring mode (Config.RingDepth > 0): one caller per handle, plus a
+	// per-ring FIFO of arrival stamps for ops submitted but not yet seen
+	// completing (rings complete in submission order).
+	rings    []*core.RingCaller
+	ringPend [][]simtime.Time
 
 	rr     int // round-robin cursor over handles
 	pass   uint64
@@ -155,6 +177,14 @@ func New(h *hv.Hypervisor, mgr *core.Manager, cfg Config) (*Scheduler, error) {
 	if cfg.PumpEvery <= 0 {
 		cfg.PumpEvery = cfg.Quantum
 	}
+	if cfg.RingDepth > 0 {
+		if cfg.RingDeadline <= 0 {
+			cfg.RingDeadline = cfg.Quantum
+		}
+		if cfg.PollBudget == 0 {
+			cfg.PollBudget = 64
+		}
+	}
 	s := &Scheduler{hv: h, mgr: mgr, cfg: cfg}
 	if cfg.Faults != nil {
 		s.inj = fault.NewInjector(cfg.Faults)
@@ -218,6 +248,14 @@ func (s *Scheduler) Admit(spec TenantSpec) (*Tenant, error) {
 			return nil, fmt.Errorf("fleet: tenant %q attach %q: %w", spec.Name, obj, err)
 		}
 		t.handles = append(t.handles, h)
+		if s.cfg.RingDepth > 0 {
+			rc, err := h.Ring(vm.VCPU(), core.RingConfig{Depth: s.cfg.RingDepth, Deadline: s.cfg.RingDeadline})
+			if err != nil {
+				return nil, fmt.Errorf("fleet: tenant %q ring on %q: %w", spec.Name, obj, err)
+			}
+			t.rings = append(t.rings, rc)
+			t.ringPend = append(t.ringPend, nil)
+		}
 	}
 	s.tenants = append(s.tenants, t)
 	return t, nil
@@ -281,12 +319,30 @@ func (s *Scheduler) Run(d simtime.Duration) (*Report, error) {
 			}
 			t := next
 			v := t.vm.VCPU()
+			ringMode := s.cfg.RingDepth > 0
 			var spent simtime.Duration
 			for len(t.queue) > 0 && spent < s.cfg.Quantum {
 				arrived := t.queue[0]
 				t.queue = t.queue[1:]
 				c0 := v.Clock().Now()
-				_, err := t.handles[t.rr].Call(v, t.spec.Fn)
+				var err error
+				if ringMode {
+					// Ring datapath: enqueue the op exit-lessly; the
+					// adaptive policy (deadline, depth, full queue) decides
+					// when a gate crossing actually happens. Completion
+					// latency is recorded at harvest time. Harvest before
+					// the completion queue can fill, or flushes stall on
+					// backpressure.
+					if t.rings[t.rr].Pending() >= s.cfg.RingDepth {
+						spent += s.harvestTenant(t, now.Add(spent))
+					}
+					err = t.rings[t.rr].Submit(v, t.spec.Fn)
+					if err == nil {
+						t.ringPend[t.rr] = append(t.ringPend[t.rr], arrived)
+					}
+				} else {
+					_, err = t.handles[t.rr].Call(v, t.spec.Fn)
+				}
 				t.rr = (t.rr + 1) % len(t.handles)
 				cost := v.Clock().Elapsed(c0)
 				spent += cost
@@ -296,15 +352,24 @@ func (s *Scheduler) Run(d simtime.Duration) (*Report, error) {
 						// The guest died mid-call (injected crash or a
 						// protocol kill). Its pending ops are lost; the
 						// pump's next sweep quarantines its attachments.
-						t.crashed = true
-						t.lost += uint64(len(t.queue))
-						t.queue = nil
+						t.markCrashed()
 						break
 					}
 					continue
 				}
-				t.completed++
-				t.hist.Record(int64(now.Add(spent).Sub(arrived)))
+				if !ringMode {
+					t.completed++
+					t.hist.Record(int64(now.Add(spent).Sub(arrived)))
+				}
+			}
+			if ringMode && !t.crashed {
+				// Interleave one budget-bounded manager poller pass with the
+				// quantum (host-side work, charged to the manager clock),
+				// then harvest whatever completions have landed.
+				if s.cfg.PollBudget > 0 {
+					_, _ = s.mgr.DrainRings(s.cfg.PollBudget)
+				}
+				spent += s.harvestTenant(t, now.Add(spent))
 			}
 			t.pass += t.stride
 			t.coreTime += spent
@@ -367,6 +432,11 @@ func (s *Scheduler) Run(d simtime.Duration) (*Report, error) {
 	}
 
 	sim.RunUntil(deadline)
+	if s.cfg.RingDepth > 0 {
+		// Ring epilogue: flush and harvest every live tenant's rings so ops
+		// still queued at the deadline complete before the report is cut.
+		s.drainTenantRings(sim.Now())
+	}
 	if s.inj != nil {
 		// Final sweep: a tenant that died after the last pump tick is
 		// still quarantined before the report is cut.
@@ -377,15 +447,94 @@ func (s *Scheduler) Run(d simtime.Duration) (*Report, error) {
 	return s.reportLocked(), nil
 }
 
+// harvestTenant polls every ring of a tenant, matching completions to
+// their arrival stamps in FIFO order (rings complete in submission
+// order). It returns the vCPU time the polling consumed.
+func (s *Scheduler) harvestTenant(t *Tenant, now simtime.Time) simtime.Duration {
+	v := t.vm.VCPU()
+	c0 := v.Clock().Now()
+	var comps [32]shm.Comp
+	for i, r := range t.rings {
+		for {
+			n, err := r.Poll(v, comps[:])
+			if err != nil || n == 0 {
+				break
+			}
+			for j := 0; j < n; j++ {
+				if len(t.ringPend[i]) == 0 {
+					continue
+				}
+				arrived := t.ringPend[i][0]
+				t.ringPend[i] = t.ringPend[i][1:]
+				if comps[j].Status != shm.CompOK {
+					t.fnErrors++
+					continue
+				}
+				t.completed++
+				t.hist.Record(int64(now.Sub(arrived)))
+			}
+		}
+	}
+	return v.Clock().Elapsed(c0)
+}
+
+// drainTenantRings flushes and harvests every live tenant's rings until
+// nothing is pending. One flush can be limited by completion-queue
+// backpressure, so flush/harvest alternates — three passes always
+// suffice (submission and completion queues have the same depth), the
+// bound is just a backstop.
+func (s *Scheduler) drainTenantRings(now simtime.Time) {
+	for _, t := range s.tenants {
+		if t.crashed || t.vm.Dead() {
+			continue
+		}
+		v := t.vm.VCPU()
+		for pass := 0; pass < 4 && t.ringPending() > 0; pass++ {
+			for _, r := range t.rings {
+				if err := r.Flush(v); err != nil {
+					t.fnErrors++
+					if t.vm.Dead() {
+						t.markCrashed()
+						break
+					}
+				}
+			}
+			if t.crashed {
+				break
+			}
+			s.harvestTenant(t, now)
+		}
+	}
+}
+
+// ringPending counts ops submitted to rings whose completions have not
+// been harvested yet.
+func (t *Tenant) ringPending() int {
+	n := 0
+	for _, p := range t.ringPend {
+		n += len(p)
+	}
+	return n
+}
+
+// markCrashed transitions a tenant to the crashed state, discarding its
+// queue and any un-harvested ring submissions into the lost count.
+func (t *Tenant) markCrashed() {
+	t.crashed = true
+	t.lost += uint64(len(t.queue)) + uint64(t.ringPending())
+	t.queue = nil
+	for i := range t.ringPend {
+		t.ringPend[i] = nil
+	}
+}
+
 // sweepDead marks tenants whose guests died and has the manager
 // quarantine and reclaim each exactly once. Callers hold s.mu (it runs
 // from Run's event loop and from Run's epilogue).
 func (s *Scheduler) sweepDead() {
 	for _, t := range s.tenants {
 		if t.vm.Dead() && !t.crashed {
-			t.crashed = true
-			t.lost += uint64(len(t.queue))
-			t.queue = nil
+			t.markCrashed()
 		}
 		if t.crashed && !t.recovered {
 			if _, err := s.mgr.RecoverGuest(t.vm); err == nil {

@@ -46,6 +46,7 @@ type Fault struct {
 	Access Perm
 }
 
+// Error describes the faulting guest-virtual access.
 func (f *Fault) Error() string {
 	return fmt.Sprintf("guest page fault: %v access %#x", f.Addr, uint8(f.Access))
 }

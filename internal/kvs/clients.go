@@ -338,11 +338,15 @@ func (c *VMCallClient) Scheme() string { return "vmcall" }
 // ---------------------------------------------------------------------------
 // ELISA: isolated, exit-less.
 
-// Manager function IDs of the ELISA KV service.
+// Manager function IDs of the ELISA KV service. FnKVGetAt is the
+// ring-datapath variant of FnKVGet: it carries an explicit exchange slot
+// offset in its second argument word, so several in-flight lookups can
+// stage keys and receive values side by side in one exchange buffer.
 const (
-	FnKVGet uint64 = 0x4B56_0101
-	FnKVPut uint64 = 0x4B56_0102
-	FnKVDel uint64 = 0x4B56_0103
+	FnKVGet   uint64 = 0x4B56_0101
+	FnKVPut   uint64 = 0x4B56_0102
+	FnKVDel   uint64 = 0x4B56_0103
+	FnKVGetAt uint64 = 0x4B56_0104
 )
 
 // Exchange layout: key at +0, value at +256.
@@ -354,7 +358,17 @@ type ELISAService struct {
 	mgr    *core.Manager
 	obj    *core.Object
 	layout Layout
-	stores map[int]*Store // per-guest store views through each sub context
+	stores map[storeViewKey]*Store // per-view store windows (see storeViewKey)
+}
+
+// storeViewKey identifies one view of the table: gate calls see it
+// through the calling guest's sub context, while manager-poller ring
+// drains see it through the manager VM's own mappings — a different vCPU
+// and a different GPA. Since every VM's physical address space is
+// independent, the cache must key on both.
+type storeViewKey struct {
+	v    *cpu.VCPU
+	base mem.GPA
 }
 
 // NewELISAService creates the manager object, formats the table inside
@@ -371,7 +385,7 @@ func NewELISAService(h *hv.Hypervisor, mgr *core.Manager, objName string, l Layo
 	if _, err := Format(w, l, h.Cost()); err != nil {
 		return nil, err
 	}
-	s := &ELISAService{hv: h, mgr: mgr, obj: obj, layout: l, stores: make(map[int]*Store)}
+	s := &ELISAService{hv: h, mgr: mgr, obj: obj, layout: l, stores: make(map[storeViewKey]*Store)}
 	if err := mgr.RegisterFunc(FnKVGet, s.fnGet); err != nil {
 		return nil, err
 	}
@@ -379,6 +393,9 @@ func NewELISAService(h *hv.Hypervisor, mgr *core.Manager, objName string, l Layo
 		return nil, err
 	}
 	if err := mgr.RegisterFunc(FnKVDel, s.fnDel); err != nil {
+		return nil, err
+	}
+	if err := mgr.RegisterFunc(FnKVGetAt, s.fnGetAt); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -391,7 +408,8 @@ func (s *ELISAService) Object() *core.Object { return s.obj }
 // guest's sub context (accesses go through its vCPU, charging its clock
 // and obeying its EPT grant).
 func (s *ELISAService) storeFor(ctx *core.CallContext) (*Store, error) {
-	if st, ok := s.stores[ctx.GuestID]; ok {
+	key := storeViewKey{ctx.VCPU, ctx.Object}
+	if st, ok := s.stores[key]; ok {
 		return st, nil
 	}
 	w, err := shm.NewGPAWindow(ctx.VCPU, ctx.Object, ctx.ObjectSize)
@@ -402,7 +420,7 @@ func (s *ELISAService) storeFor(ctx *core.CallContext) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.stores[ctx.GuestID] = st
+	s.stores[key] = st
 	return st, nil
 }
 

@@ -45,6 +45,7 @@ func (a HPA) Offset() uint64 { return uint64(a) & PageMask }
 // PageAligned reports whether the address is at a page boundary.
 func (a HPA) PageAligned() bool { return a.Offset() == 0 }
 
+// String renders the address with its hpa: tag.
 func (a HPA) String() string { return fmt.Sprintf("hpa:%#x", uint64(a)) }
 
 // Frame returns the guest frame containing the address.
@@ -56,6 +57,7 @@ func (a GPA) Offset() uint64 { return uint64(a) & PageMask }
 // PageAligned reports whether the address is at a page boundary.
 func (a GPA) PageAligned() bool { return a.Offset() == 0 }
 
+// String renders the address with its gpa: tag.
 func (a GPA) String() string { return fmt.Sprintf("gpa:%#x", uint64(a)) }
 
 // Page returns the guest-physical address of the start of the frame.
@@ -70,6 +72,7 @@ func (a GVA) Offset() uint64 { return uint64(a) & PageMask }
 // PageBase returns the page-aligned base of the address.
 func (a GVA) PageBase() GVA { return a &^ GVA(PageMask) }
 
+// String renders the address with its gva: tag.
 func (a GVA) String() string { return fmt.Sprintf("gva:%#x", uint64(a)) }
 
 // PagesFor returns how many whole pages are needed to hold n bytes.

@@ -36,6 +36,8 @@ const (
 	KindInject  Kind = "fault-inject" // a planned fault fired
 	KindRecover Kind = "recover"      // manager quarantined + reclaimed a dead guest
 	KindRepair  Kind = "fsck-repair"  // online Fsck repaired machine state
+	// Ring-datapath kinds (PR 4).
+	KindRing Kind = "ring-setup" // a call ring was negotiated for an attachment
 )
 
 // Event is one record.
@@ -54,6 +56,7 @@ type Event struct {
 	Detail string
 }
 
+// String renders one event as a fixed-width trace line.
 func (e Event) String() string {
 	return fmt.Sprintf("[%06d %12s] %-14s %-12s %s", e.Seq, simtime.Duration(e.T), e.Kind, e.VM, e.Detail)
 }

@@ -127,8 +127,16 @@ func RunTX(nic *NIC, b Backend, size, total int) (*Result, error) {
 // in pipelined alternation (B processes batch k while A produces k+1).
 // The rate is measured at the receiver.
 func RunVV(p VVPath, size, total int) (*Result, error) {
-	if total <= 0 {
-		return nil, fmt.Errorf("vnet: total %d must be positive", total)
+	return RunVVBatch(p, size, total, BatchVV)
+}
+
+// RunVVBatch is RunVV with an explicit frames-per-Send batch — the knob
+// the ring-batching experiment sweeps, since a ring path flushes (at
+// most) once per Send call and so batches up to min(batch, ring depth)
+// descriptors per gate crossing.
+func RunVVBatch(p VVPath, size, total, batch int) (*Result, error) {
+	if total <= 0 || batch <= 0 {
+		return nil, fmt.Errorf("vnet: total %d / batch %d must be positive", total, batch)
 	}
 	a := p.Sender().VCPU()
 	bcpu := p.Receiver().VCPU()
@@ -139,7 +147,7 @@ func RunVV(p VVPath, size, total int) (*Result, error) {
 	sent, recv := 0, 0
 	for recv < total {
 		if sent < total {
-			n, err := p.Send(min(BatchVV, total-sent), size)
+			n, err := p.Send(min(batch, total-sent), size)
 			if err != nil {
 				return nil, err
 			}
@@ -147,7 +155,7 @@ func RunVV(p VVPath, size, total int) (*Result, error) {
 		}
 		// Frames become visible to B no earlier than A produced them.
 		bcpu.Clock().AdvanceTo(a.Clock().Now())
-		got, err := p.Recv(min(BatchVV, total-recv))
+		got, err := p.Recv(min(batch, total-recv))
 		if err != nil {
 			return nil, err
 		}

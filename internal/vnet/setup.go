@@ -73,6 +73,38 @@ func BuildObservedBackend(scheme string, rec *obs.Recorder) (*hv.Hypervisor, *NI
 	return h, nic, b, nil
 }
 
+// BuildRingVVPath assembles a fresh machine with two guests wired
+// through the exit-less ring datapath ("elisa-ring"): same topology as
+// BuildVVPath("elisa"), but both guests drive attachment call rings
+// instead of one gate crossing per Send/Recv batch.
+func BuildRingVVPath(cfg RingVVConfig) (*RingVVPath, error) {
+	h, err := hv.New(hv.Config{PhysBytes: physBytes})
+	if err != nil {
+		return nil, err
+	}
+	a, err := h.CreateVM("vm-a", guestRAM)
+	if err != nil {
+		return nil, err
+	}
+	b, err := h.CreateVM("vm-b", guestRAM)
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := core.NewManager(h, core.ManagerConfig{})
+	if err != nil {
+		return nil, err
+	}
+	ga, err := core.NewGuest(a, mgr)
+	if err != nil {
+		return nil, err
+	}
+	gb, err := core.NewGuest(b, mgr)
+	if err != nil {
+		return nil, err
+	}
+	return NewRingVVPath(h, mgr, ga, gb, cfg)
+}
+
 // BuildVVPath assembles a fresh machine with two guests wired through the
 // named VM-to-VM scheme.
 func BuildVVPath(scheme string) (VVPath, error) {

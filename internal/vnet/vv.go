@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/elisa-go/elisa/internal/core"
+	"github.com/elisa-go/elisa/internal/cpu"
 	"github.com/elisa-go/elisa/internal/ept"
 	"github.com/elisa-go/elisa/internal/hv"
 	"github.com/elisa-go/elisa/internal/mem"
@@ -347,9 +348,20 @@ type ELISAVVPath struct {
 	a, b  *core.Guest
 	hA    *core.Handle
 	hB    *core.Handle
-	rings map[int]*shm.Ring
+	rings map[ringViewKey]*shm.Ring
 	txSeq int
 	rxSeq int
+}
+
+// ringViewKey identifies one view of the shared payload ring: the same
+// object is reached through a different vCPU and at a different GPA by
+// each guest's sub context and by the manager's host-side ring drain, so
+// the window cache must key on both. The GPA alone is not enough — every
+// VM's physical address space is independent, so the same numeric GPA can
+// name different windows on different vCPUs.
+type ringViewKey struct {
+	v    *cpu.VCPU
+	base mem.GPA
 }
 
 // NewELISAVVPath publishes the forwarding ring as a manager object and
@@ -359,7 +371,7 @@ func NewELISAVVPath(h *hv.Hypervisor, mgr *core.Manager, a, b *core.Guest) (*ELI
 	if err != nil {
 		return nil, err
 	}
-	p := &ELISAVVPath{h: h, mgr: mgr, a: a, b: b, rings: make(map[int]*shm.Ring)}
+	p := &ELISAVVPath{h: h, mgr: mgr, a: a, b: b, rings: make(map[ringViewKey]*shm.Ring)}
 	if _, err := mgr.CreateObjectFromRegion("vv-ring", region); err != nil {
 		return nil, err
 	}
@@ -388,7 +400,8 @@ func (p *ELISAVVPath) Sender() *hv.VM { return p.a.VM() }
 func (p *ELISAVVPath) Receiver() *hv.VM { return p.b.VM() }
 
 func (p *ELISAVVPath) ringFor(ctx *core.CallContext) (*shm.Ring, error) {
-	if r, ok := p.rings[ctx.GuestID]; ok {
+	key := ringViewKey{ctx.VCPU, ctx.Object}
+	if r, ok := p.rings[key]; ok {
 		return r, nil
 	}
 	w, err := shm.NewGPAWindow(ctx.VCPU, ctx.Object, ctx.ObjectSize)
@@ -399,7 +412,7 @@ func (p *ELISAVVPath) ringFor(ctx *core.CallContext) (*shm.Ring, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.rings[ctx.GuestID] = r
+	p.rings[key] = r
 	return r, nil
 }
 

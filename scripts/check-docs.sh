@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# The documentation gate, runnable locally and from CI (docs job in
+# .github/workflows/ci.yml):
+#
+#   1. gofmt -l must be empty (doc comments are code too);
+#   2. go vet must pass;
+#   3. elisa-doclint must pass: package + exported-symbol doc comments,
+#      markdown relative links resolve;
+#   4. every cmd/* and examples/* path the README references must build.
+#
+# Run from the repository root: ./scripts/check-docs.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:"
+    echo "$unformatted"
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== elisa-doclint"
+go run ./cmd/elisa-doclint
+
+echo "== README-referenced binaries build"
+refs=$(grep -oE '(\./)?(cmd|examples)/[a-z-]+' README.md | sed 's|^\./||' | sort -u)
+if [ -z "$refs" ]; then
+    echo "README references no cmd/* or examples/* paths — drift?" >&2
+    exit 1
+fi
+for ref in $refs; do
+    if [ ! -d "$ref" ]; then
+        echo "README references $ref, which does not exist" >&2
+        exit 1
+    fi
+    echo "   go build ./$ref"
+    go build -o /dev/null "./$ref"
+done
+
+echo "docs gate: OK"
