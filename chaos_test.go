@@ -511,6 +511,121 @@ func TestChaosDeterminismSameSeed(t *testing.T) {
 	}
 }
 
+// TestChaosOverloadRevokeDuringBackoff: revocation racing a CompBusy
+// backoff loop. A saturated drain pass bounces part of the guest's ring
+// back as CompBusy; the retry policy backs off and re-submits; then the
+// manager revokes the attachment while those retries sit in the queue.
+// The in-backoff guest must receive CompErr for every outstanding
+// descriptor — never an eternal retry against the dead attachment — and
+// the audit must come out clean. Seeded: each seed drives the retry
+// jitter, and every seed must converge within a bounded number of polls.
+func TestChaosOverloadRevokeDuringBackoff(t *testing.T) {
+	for _, seed := range []int64{3, 11, 29} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed_%d", seed), func(t *testing.T) {
+			t.Parallel()
+			const fn = uint64(36)
+			sys, err := NewSystem(Config{SlotBudget: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mgr := sys.Manager()
+			mgr.SetOverload(OverloadConfig{Enabled: true, BusyFrac: 0.5})
+			if err := mgr.RegisterFunc(fn, func(*CallContext) (uint64, error) { return 0, nil }); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := mgr.CreateObject("ob-0", PageSize); err != nil {
+				t.Fatal(err)
+			}
+			g, err := sys.NewGuestVM("ob-guest", 16*PageSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, err := g.Attach("ob-0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := g.VCPU()
+			rc, err := h.Ring(v, RingConfig{Depth: 16, Deadline: simtime.Second,
+				Retry: RetryPolicy{MaxAttempts: 8, BaseBackoff: 2 * simtime.Microsecond, Seed: seed}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const ops = 12
+			for i := 0; i < ops; i++ {
+				if err := rc.Submit(v, fn); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Budget 2 against 12 queued: 2 serviced, and the overload trim
+			// bounces the queue down to BusyFrac×depth = 8, i.e. 2 CompBusy.
+			if _, err := mgr.DrainRings(2); err != nil {
+				t.Fatal(err)
+			}
+			// The guest polls: OK completions delivered, the busy bounces
+			// swallowed into backoff and re-submitted — it is now in-backoff.
+			var comps [16]Comp
+			okN := 0
+			n, err := rc.Poll(v, comps[:])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				if comps[i].Status != CompOK {
+					t.Fatalf("pre-revoke completion %+v, want OK", comps[i])
+				}
+				okN++
+			}
+			if st := sys.RingStats()[0]; st.Retried == 0 {
+				t.Fatalf("retried = 0 — the backoff loop never engaged (busied=%d)", st.Busied)
+			}
+
+			// Revocation lands mid-backoff.
+			if err := mgr.Revoke(g.VM(), "ob-0"); err != nil {
+				t.Fatal(err)
+			}
+
+			// Every outstanding descriptor — including the in-backoff
+			// retries — must come back CompErr within a bounded number of
+			// polls; CompBusy may no longer appear (the attachment is dead,
+			// retrying it forever would be the bug).
+			errN := 0
+			for iter := 0; okN+errN < ops; iter++ {
+				if iter > 2*ops {
+					t.Fatalf("no convergence after %d polls: %d OK + %d Err of %d ops — retry loop stuck on a dead attachment", iter, okN, errN, ops)
+				}
+				n, err := rc.Poll(v, comps[:])
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < n; i++ {
+					switch comps[i].Status {
+					case CompErr:
+						errN++
+					case CompOK:
+						okN++
+					default:
+						t.Fatalf("post-revoke completion %+v — busy retries must collapse to CompErr", comps[i])
+					}
+				}
+			}
+			if errN == 0 {
+				t.Fatal("revocation mid-backoff produced no CompErr")
+			}
+			if rc.Pending() != 0 {
+				t.Fatalf("pending = %d after convergence", rc.Pending())
+			}
+			if _, err := mgr.RecoverDead(); err != nil {
+				t.Fatal(err)
+			}
+			if err := mgr.Fsck(); err != nil {
+				t.Fatalf("fsck dirty after revoke-during-backoff: %v", err)
+			}
+		})
+	}
+}
+
 // TestChaosHotPathExactWithArmedInjector: arming a fault plan aimed at a
 // guest that never calls must not cost the hot path a single simulated
 // nanosecond — a warm call still takes exactly the paper's 196 ns.

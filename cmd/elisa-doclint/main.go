@@ -7,7 +7,9 @@
 //     exported types, consts and vars — carries a doc comment (a doc
 //     comment on a const/var/type group covers the whole group);
 //   - every relative link in the repository's markdown files resolves
-//     to a file that exists.
+//     to a file that exists, and every intra-repo anchor (`#section`,
+//     `FILE.md#section`) resolves to a heading in the target file (by
+//     the GitHub heading-slug algorithm).
 //
 // Usage:
 //
@@ -32,6 +34,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"unicode"
 )
 
 func main() {
@@ -244,10 +247,85 @@ var quotedMaterial = map[string]bool{
 	"ISSUE.md":    true,
 }
 
+// mdHeadingLink rewrites inline links and images inside a heading to
+// their bracket text, the way GitHub does before slugging.
+var mdHeadingLink = regexp.MustCompile(`!?\[([^\]]*)\]\([^)]*\)`)
+
+// slugify converts a heading's text to its GitHub anchor slug: lowered,
+// punctuation stripped, spaces turned into hyphens. Letters, digits,
+// hyphens, and underscores survive; everything else is dropped.
+func slugify(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '-' || r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// anchorSet parses the markdown file at path into the set of heading
+// anchors it defines. ATX headings inside fenced code blocks do not
+// count, and duplicate slugs grow the -1/-2 suffixes GitHub appends.
+func anchorSet(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	anchors := map[string]bool{}
+	counts := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		level := 0
+		for level < len(trimmed) && trimmed[level] == '#' {
+			level++
+		}
+		if level > 6 || level == len(trimmed) || trimmed[level] != ' ' {
+			continue
+		}
+		text := strings.TrimSpace(strings.TrimRight(trimmed[level:], "#"))
+		text = mdHeadingLink.ReplaceAllString(text, "$1")
+		text = strings.NewReplacer("`", "", "*", "").Replace(text)
+		slug := slugify(text)
+		if n := counts[slug]; n > 0 {
+			anchors[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			anchors[slug] = true
+		}
+		counts[slug]++
+	}
+	return anchors, nil
+}
+
 // lintMarkdownLinks checks every relative link target in the tree's
-// markdown files.
+// markdown files: the target file must exist, and when the link carries
+// a fragment into a markdown file — its own (`#section`) or another's
+// (`FILE.md#section`) — the fragment must name a real heading anchor.
 func lintMarkdownLinks(root string) ([]string, error) {
 	var findings []string
+	anchorCache := map[string]map[string]bool{}
+	anchorsOf := func(p string) map[string]bool {
+		if a, ok := anchorCache[p]; ok {
+			return a
+		}
+		a, err := anchorSet(p)
+		if err != nil {
+			a = nil // unreadable target: the Stat above already reported it
+		}
+		anchorCache[p] = a
+		return a
+	}
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -269,16 +347,26 @@ func lintMarkdownLinks(root string) ([]string, error) {
 		for i, line := range strings.Split(string(data), "\n") {
 			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
 				target := m[1]
-				if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
 					continue
 				}
-				target = strings.SplitN(target, "#", 2)[0]
-				if target == "" {
+				frag := ""
+				if idx := strings.IndexByte(target, '#'); idx >= 0 {
+					target, frag = target[:idx], target[idx+1:]
+				}
+				resolved := path // bare-fragment links point into this file
+				if target != "" {
+					resolved = filepath.Join(filepath.Dir(path), target)
+					if _, err := os.Stat(resolved); err != nil {
+						findings = append(findings, fmt.Sprintf("%s:%d: broken link %q", relFile, i+1, m[1]))
+						continue
+					}
+				}
+				if frag == "" || !strings.HasSuffix(strings.ToLower(resolved), ".md") {
 					continue
 				}
-				resolved := filepath.Join(filepath.Dir(path), target)
-				if _, err := os.Stat(resolved); err != nil {
-					findings = append(findings, fmt.Sprintf("%s:%d: broken link %q", relFile, i+1, m[1]))
+				if a := anchorsOf(resolved); a != nil && !a[frag] {
+					findings = append(findings, fmt.Sprintf("%s:%d: broken anchor %q", relFile, i+1, m[1]))
 				}
 			}
 		}

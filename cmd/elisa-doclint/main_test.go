@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSlugify(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Overload & backpressure", "overload--backpressure"},
+		{"The ELISA call path", "the-elisa-call-path"},
+		{"ring_caller internals", "ring_caller-internals"},
+		{"What's in a name?", "whats-in-a-name"},
+		{"C0 / C1 / C2", "c0--c1--c2"},
+	}
+	for _, tc := range cases {
+		if got := slugify(tc.in); got != tc.want {
+			t.Errorf("slugify(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestAnchorSetFencesAndDuplicates(t *testing.T) {
+	doc := "# Title\n" +
+		"## Setup\n" +
+		"```\n" +
+		"# not a heading, just a shell comment\n" +
+		"```\n" +
+		"## Setup\n" +
+		"## `Code` heading ##\n" +
+		"## A [link](OTHER.md) heading\n"
+	path := filepath.Join(t.TempDir(), "doc.md")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	anchors, err := anchorSet(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"title", "setup", "setup-1", "code-heading", "a-link-heading"} {
+		if !anchors[want] {
+			t.Errorf("anchor %q missing; have %v", want, anchors)
+		}
+	}
+	if anchors["not-a-heading-just-a-shell-comment"] {
+		t.Error("heading inside fenced block leaked into the anchor set")
+	}
+}
+
+func TestLintMarkdownLinksAnchors(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("TARGET.md", "# Alpha\n## Beta gamma\n")
+	write("SOURCE.md", "See [ok](TARGET.md#beta-gamma), [self](#local), "+
+		"[bad](TARGET.md#missing), [gone](#nope), and [lost](NOFILE.md#alpha).\n\n## Local\n")
+	findings, err := lintMarkdownLinks(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 3 {
+		t.Fatalf("got %d findings, want 3: %v", len(findings), findings)
+	}
+	wantSubstr := []string{`broken anchor "TARGET.md#missing"`, `broken anchor "#nope"`, `broken link "NOFILE.md#alpha"`}
+	for _, w := range wantSubstr {
+		found := false
+		for _, f := range findings {
+			if strings.Contains(f, w) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no finding containing %q in %v", w, findings)
+		}
+	}
+}

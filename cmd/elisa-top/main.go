@@ -56,6 +56,7 @@ func main() {
 	ringDepth := flag.Int("ring", 0, "drive ops through exit-less call rings of this depth (0 = one gate crossing per call); the RING column then shows drained descriptors and batch p50")
 	ringDeadlineUs := flag.Int("ring-deadline", 5, "ring batching deadline in simulated microseconds (with -ring)")
 	pollBudget := flag.Int("poll-budget", 64, "descriptors the manager poller services per frame (with -ring; 0 = poller off, rings drain only via guest flushes)")
+	overload := flag.Bool("overload", false, "arm overload control: saturated rings bounce CompBusy and guests retry with deterministic backoff (with -ring); the SHED/BUSY column then shows bounces/retries per frame")
 	faults := flag.Int("faults", 0, "arm a chaos plan with N seeded fault injections (0 = chaos off); the CHAOS column then shows per-guest hits")
 	faultSeed := flag.Int64("fault-seed", 42, "seed of the chaos plan (same seed = same fault trace)")
 	ansi := flag.Bool("ansi", false, "redraw in place with ANSI escapes instead of printing frames sequentially")
@@ -64,7 +65,7 @@ func main() {
 	spans := flag.Int("spans", 0, "print the last N sampled call spans at exit")
 	flag.Parse()
 	if err := run(*guests, *objects, *slotBudget, *frames, *interval, *sample, *skew, *readRatio, *errEvery,
-		*ringDepth, *ringDeadlineUs, *pollBudget, *faults, *faultSeed, *ansi, *prom, *jsonOut, *spans); err != nil {
+		*ringDepth, *ringDeadlineUs, *pollBudget, *overload, *faults, *faultSeed, *ansi, *prom, *jsonOut, *spans); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -95,7 +96,7 @@ func (tn *tenant) pollRings(v *elisa.VCPU) {
 }
 
 func run(nGuests, nObjects, slotBudget, frames, intervalMs, sample int, skew, readRatio float64, errEvery,
-	ringDepth, ringDeadlineUs, pollBudget, nFaults int, faultSeed int64, ansi, prom, jsonOut bool, nSpans int) error {
+	ringDepth, ringDeadlineUs, pollBudget int, overload bool, nFaults int, faultSeed int64, ansi, prom, jsonOut bool, nSpans int) error {
 	if nGuests <= 0 {
 		return fmt.Errorf("need at least one guest")
 	}
@@ -112,6 +113,9 @@ func run(nGuests, nObjects, slotBudget, frames, intervalMs, sample int, skew, re
 		return err
 	}
 	mgr := sys.Manager()
+	if overload {
+		mgr.SetOverload(elisa.OverloadConfig{Enabled: true})
+	}
 	objNames := make([]string, nObjects)
 	for i := range objNames {
 		objNames[i] = objName
@@ -150,10 +154,16 @@ func run(nGuests, nObjects, slotBudget, frames, intervalMs, sample int, skew, re
 			}
 			hs[j] = h
 			if ringDepth > 0 {
-				rc, err := h.Ring(g.VCPU(), elisa.RingConfig{
+				cfg := elisa.RingConfig{
 					Depth:    ringDepth,
 					Deadline: simtime.Duration(ringDeadlineUs) * simtime.Microsecond,
-				})
+				}
+				if overload {
+					// Bounded retries so a CompBusy bounce backs off and
+					// re-submits instead of surfacing to the workload loop.
+					cfg.Retry = elisa.RetryPolicy{MaxAttempts: 3, Seed: int64(7 + i)}
+				}
+				rc, err := h.Ring(g.VCPU(), cfg)
 				if err != nil {
 					return err
 				}
@@ -200,6 +210,8 @@ func run(nGuests, nObjects, slotBudget, frames, intervalMs, sample int, skew, re
 	prevHits := make(map[string]uint64)
 	prevMisses := make(map[string]uint64)
 	prevFaults := make(map[string]uint64)
+	prevBusy := make(map[string]uint64)
+	prevRetried := make(map[string]uint64)
 
 	for frame := 1; frame <= frames; frame++ {
 		for _, tn := range tenants {
@@ -282,7 +294,7 @@ func run(nGuests, nObjects, slotBudget, frames, intervalMs, sample int, skew, re
 		if ansi {
 			fmt.Print("\033[H\033[2J")
 		}
-		renderFrame(os.Stdout, sys, tenants, frame, prevCalls, prevErrs, prevHits, prevMisses, prevFaults)
+		renderFrame(os.Stdout, sys, tenants, frame, prevCalls, prevErrs, prevHits, prevMisses, prevFaults, prevBusy, prevRetried)
 	}
 
 	if inj != nil {
@@ -329,7 +341,7 @@ func deltaU64(cur, prev uint64) uint64 {
 // carry per-guest counters from the previous frame so rates are
 // per-interval, not cumulative.
 func renderFrame(out *os.File, sys *elisa.System, tenants []*tenant, frame int,
-	prevCalls, prevErrs, prevHits, prevMisses, prevFaults map[string]uint64) {
+	prevCalls, prevErrs, prevHits, prevMisses, prevFaults, prevBusy, prevRetried map[string]uint64) {
 	rec := sys.Recorder()
 	byGuest := make(map[string]struct{ calls, errs uint64 })
 	for _, st := range sys.Manager().Stats() {
@@ -351,6 +363,8 @@ func renderFrame(out *os.File, sys *elisa.System, tenants []*tenant, frame int,
 	type ringAgg struct {
 		drained uint64
 		p50     int64
+		busied  uint64
+		retried uint64
 	}
 	ringsByGuest := make(map[string]ringAgg)
 	for _, rs := range sys.RingStats() {
@@ -359,10 +373,12 @@ func renderFrame(out *os.File, sys *elisa.System, tenants []*tenant, frame int,
 		if rs.BatchP50 > agg.p50 {
 			agg.p50 = rs.BatchP50
 		}
+		agg.busied += rs.Busied
+		agg.retried += rs.Retried
 		ringsByGuest[rs.Guest] = agg
 	}
 	tb := stats.NewTable(fmt.Sprintf("elisa-top frame %d", frame),
-		"GUEST", "OBJS", "CALLS", "CALLS/S", "ERRS", "P50[ns]", "P99[ns]", "SLOTS", "REMAP/S", "TLB-MISS%", "RING", "CHAOS")
+		"GUEST", "OBJS", "CALLS", "CALLS/S", "ERRS", "P50[ns]", "P99[ns]", "SLOTS", "REMAP/S", "TLB-MISS%", "RING", "SHED/BUSY", "CHAOS")
 	for _, tn := range tenants {
 		name := tn.g.Name()
 		acct := byGuest[name]
@@ -389,19 +405,23 @@ func renderFrame(out *os.File, sys *elisa.System, tenants []*tenant, frame int,
 				chaos += " DEAD"
 			}
 		}
-		ring := "-"
+		ring, busyCol := "-", "-"
 		if agg, ok := ringsByGuest[name]; ok {
 			ring = fmt.Sprintf("%d(b%d)", agg.drained, agg.p50)
+			dBusy := deltaU64(agg.busied, prevBusy[name])
+			dRetried := deltaU64(agg.retried, prevRetried[name])
+			busyCol = fmt.Sprintf("%d/%d", dBusy, dRetried)
+			prevBusy[name], prevRetried[name] = agg.busied, agg.retried
 		}
 		tb.AddRow(name, len(tn.hs), dCalls, stats.Throughput(int64(dCalls), elapsed),
 			dErrs, h.Percentile(0.50), h.Percentile(0.99),
 			fmt.Sprintf("%d/%d", ss.Backed, ss.Budget),
-			stats.Throughput(int64(dFaults), elapsed), missPct, ring, chaos)
+			stats.Throughput(int64(dFaults), elapsed), missPct, ring, busyCol, chaos)
 		prevCalls[name], prevErrs[name] = acct.calls, acct.errs
 		prevHits[name], prevMisses[name] = st.TLBHits, st.TLBMisses
 		prevFaults[name] = ss.Faults
 	}
-	tb.AddNote("latency percentiles are cumulative over the run; rates are per-frame; SLOTS is backed/budget physical EPTP slots, REMAP/S the HCSlotFault re-bind rate; RING is ring descriptors drained with the batch-size p50 in parentheses (-ring); CHAOS is injected faults landed on the guest (-faults)")
+	tb.AddNote("latency percentiles are cumulative over the run; rates are per-frame; SLOTS is backed/budget physical EPTP slots, REMAP/S the HCSlotFault re-bind rate; RING is ring descriptors drained with the batch-size p50 in parentheses (-ring); SHED/BUSY is descriptors shed from saturated rings as CompBusy bounces / guest backoff retries per frame (-overload); CHAOS is injected faults landed on the guest (-faults)")
 	fmt.Fprint(out, tb.String())
 	fmt.Fprintln(out)
 }

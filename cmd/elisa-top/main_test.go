@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+// TestOverloadDeltaClamp is the regression test for the per-frame rate
+// columns after RecoverGuest/Reset: quarantining a crashed guest frees
+// its attachments, so a cumulative counter sampled the next frame can be
+// smaller than the previous frame's snapshot. The delta helper must
+// clamp to zero — an unsigned underflow here rendered ~1.8e19 calls/sec
+// in the table.
+func TestOverloadDeltaClamp(t *testing.T) {
+	cases := []struct {
+		name      string
+		cur, prev uint64
+		want      uint64
+	}{
+		{"normal forward delta", 150, 100, 50},
+		{"no change", 100, 100, 0},
+		{"counter went backwards (guest recovered)", 10, 100, 0},
+		{"counter reset to zero", 0, 1 << 40, 0},
+		{"from zero", 42, 0, 42},
+		{"max forward", ^uint64(0), 0, ^uint64(0)},
+	}
+	for _, tc := range cases {
+		if got := deltaU64(tc.cur, tc.prev); got != tc.want {
+			t.Errorf("%s: deltaU64(%d, %d) = %d, want %d", tc.name, tc.cur, tc.prev, got, tc.want)
+		}
+	}
+}

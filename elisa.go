@@ -123,8 +123,18 @@ type (
 	// (Manager.RingStats, System.RingStats).
 	RingStats = core.RingStats
 	// Comp is one ring completion: the function's return value plus a
-	// status (CompOK or CompErr).
+	// status (CompOK, CompErr, or CompBusy).
 	Comp = shm.Comp
+	// OverloadConfig arms the manager's drain-side overload control:
+	// CompBusy bounce-backs and weighted-fair poll-budget splits
+	// (Manager.SetOverload, FleetConfig.Overload).
+	OverloadConfig = core.OverloadConfig
+	// RetryPolicy is a ring caller's bounded, jittered backoff-and-retry
+	// answer to CompBusy (RingConfig.Retry, FleetConfig.RingRetry).
+	RetryPolicy = core.RetryPolicy
+	// TenantClass is a fleet tenant's load-shedding priority class
+	// (TenantSpec.Class; 0 is shed first, FleetConfig.Classes-1 never).
+	TenantClass = fleet.TenantClass
 )
 
 // Ring completion statuses and geometry limits.
@@ -133,6 +143,11 @@ const (
 	CompOK = shm.CompOK
 	// CompErr marks a failed or administratively completed descriptor.
 	CompErr = shm.CompErr
+	// CompBusy marks a descriptor bounced back unserved under overload;
+	// the guest may retry after backing off (RetryPolicy).
+	CompBusy = shm.CompBusy
+	// MaxTenantClasses caps FleetConfig.Classes.
+	MaxTenantClasses = fleet.MaxTenantClasses
 	// DefaultRingDepth is the ring depth RingConfig zero values pick.
 	DefaultRingDepth = core.DefaultRingDepth
 	// MaxRingDepth caps the negotiable ring depth.

@@ -163,6 +163,15 @@ type Manager struct {
 	// it never charges simulated time of its own.
 	inj *fault.Injector
 
+	// ov configures overload control on the drain side (busy bounce-backs
+	// and weighted-fair budget splits — see SetOverload). Like rec and inj
+	// it is set before traffic starts and read without mu. drainCursor
+	// rotates the weighted-fair starting guest across DrainRings passes so
+	// leftover budget is not always handed to the lowest VM id; it is
+	// guarded by pollMu.
+	ov          OverloadConfig
+	drainCursor int
+
 	// recovery-side accounting (see RecoveryStats).
 	recoveries    uint64 // RecoverGuest completions
 	midGateDeaths uint64 // recovered guests that died inside gate/sub ctx
@@ -223,6 +232,10 @@ type guestState struct {
 	// the TLB-shootdown IPI — and is drained by resolveSlot on the
 	// guest's next call (or by RecoverGuest/CleanupGuest post-mortem).
 	pendingReap []*Attachment
+
+	// pollWeight is the guest's weighted-fair share of the DrainRings
+	// budget (see Manager.SetPollWeight); zero or negative means 1.
+	pollWeight int
 
 	// slow-path accounting (see Manager.SlotStats)
 	faults    uint64

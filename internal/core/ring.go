@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,7 @@ import (
 	"github.com/elisa-go/elisa/internal/fault"
 	"github.com/elisa-go/elisa/internal/hv"
 	"github.com/elisa-go/elisa/internal/mem"
+	"github.com/elisa-go/elisa/internal/overload"
 	"github.com/elisa-go/elisa/internal/shm"
 	"github.com/elisa-go/elisa/internal/simtime"
 	"github.com/elisa-go/elisa/internal/stats"
@@ -67,6 +69,9 @@ type RingConfig struct {
 	// that rely on the manager poller (fleet mode) set a large deadline so
 	// the gate is only a latency backstop.
 	Deadline simtime.Duration
+	// Retry is the caller's answer to CompBusy bounce-backs (zero value:
+	// no retries, Poll delivers CompBusy untouched).
+	Retry RetryPolicy
 }
 
 // ringState is the manager-side half of one attachment's call ring.
@@ -99,6 +104,14 @@ type ringState struct {
 	drains  atomic.Uint64 // poller passes that drained >= 1 descriptor
 	drained atomic.Uint64 // descriptors completed by the poller
 	failed  atomic.Uint64 // descriptors completed administratively (CompErr on revoke/detach)
+	busied  atomic.Uint64 // descriptors bounced back as CompBusy under overload
+	retried atomic.Uint64 // guest-side re-submissions after CompBusy
+
+	// dead flips when the attachment's ring is administratively failed
+	// (revoke/detach): the guest-side retry loop reads it so an in-backoff
+	// caller converts its bounced descriptor to CompErr instead of
+	// retrying forever against an attachment that can never serve it.
+	dead atomic.Bool
 
 	// batch-size distribution across both drain sides.
 	batchMu sync.Mutex
@@ -242,6 +255,19 @@ type RingCaller struct {
 	pending      int          // descriptors we believe are queued (the poller may have fewer)
 	inFlight     int          // submitted minus polled completions
 	firstPending simtime.Time // guest-clock stamp of the oldest unflushed submit
+
+	// Retry state (only maintained when cfg.Retry is enabled): retryQ
+	// mirrors the descriptors in flight in completion order, so a
+	// CompBusy popped by Poll can be matched back to its descriptor and
+	// re-submitted; retryRNG is the seeded jitter source.
+	retryQ   []retryEntry
+	retryRNG *rand.Rand
+}
+
+// retryEntry pairs an in-flight descriptor with its busy-retry count.
+type retryEntry struct {
+	d     shm.Desc
+	tries int
 }
 
 // Ring negotiates (or reopens) the attachment's call ring and returns a
@@ -286,7 +312,15 @@ func (h *Handle) Ring(v *cpu.VCPU, cfg RingConfig) (*RingCaller, error) {
 	if rs == nil {
 		return nil, fmt.Errorf("core: ring setup on %q vslot %d: manager lost the ring", h.objName, h.subIdx)
 	}
-	return &RingCaller{h: h, cfg: cfg, ring: ring, rs: rs, gpa: mem.GPA(gpaU)}, nil
+	rc := &RingCaller{h: h, cfg: cfg, ring: ring, rs: rs, gpa: mem.GPA(gpaU)}
+	if cfg.Retry.enabled() {
+		seed := cfg.Retry.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		rc.retryRNG = rand.New(rand.NewSource(seed))
+	}
+	return rc, nil
 }
 
 // ringStateFor returns the manager-side ring of a live attachment.
@@ -363,13 +397,38 @@ func (rc *RingCaller) Submit(v *cpu.VCPU, fnID uint64, args ...uint64) error {
 	}
 	rc.pending++
 	rc.inFlight++
+	if rc.cfg.Retry.enabled() {
+		rc.retryQ = append(rc.retryQ, retryEntry{d: d})
+	}
 	if rc.cfg.Deadline == 0 {
 		return rc.Flush(v)
 	}
-	if v.Clock().Now().Sub(rc.firstPending) >= rc.cfg.Deadline {
-		return rc.Flush(v)
+	now := v.Clock().Now()
+	deadlineHit := now.Sub(rc.firstPending) >= rc.cfg.Deadline
+	depthHit := rc.pending >= rc.cfg.Depth
+	if !deadlineHit && !depthHit {
+		return nil
 	}
-	if rc.pending >= rc.cfg.Depth {
+	// Before paying a 196 ns crossing, reconcile with the real queue: the
+	// manager poller may have drained behind our back, leaving rc.pending
+	// and rc.firstPending stale. One exit-less cursor read settles it.
+	queued, err := rc.ring.ProducerPending()
+	if err != nil {
+		return err
+	}
+	rc.pending = queued
+	if queued >= rc.cfg.Depth {
+		return rc.Flush(v) // genuinely full: flush regardless of deadline
+	}
+	if queued <= 1 {
+		// The poller won the race: everything older than this submit is
+		// already drained, so the stale deadline stamp must not trigger a
+		// spurious one-descriptor flush. Restart the batching window at
+		// this — now oldest — descriptor.
+		rc.firstPending = now
+		return nil
+	}
+	if deadlineHit {
 		return rc.Flush(v)
 	}
 	return nil
@@ -551,10 +610,19 @@ func (rc *RingCaller) Flush(v *cpu.VCPU) error {
 // Poll pops up to len(out) completions from the guest's default context —
 // exit-less shared-memory reads, no gate. It returns how many completions
 // were delivered (possibly zero: nothing has been drained yet).
+//
+// With a retry policy configured, CompBusy completions are intercepted
+// instead of delivered: the bounced descriptor is re-submitted after a
+// jittered exponential backoff charged to the guest's clock, up to
+// MaxAttempts times. A descriptor still busy after the last attempt is
+// delivered as CompBusy; a descriptor bounced by a ring whose attachment
+// has since been revoked or detached is delivered as CompErr (there is
+// nothing left to retry against).
 func (rc *RingCaller) Poll(v *cpu.VCPU, out []shm.Comp) (int, error) {
 	if v != rc.h.g.vm.VCPU() {
 		return 0, fmt.Errorf("core: Poll on foreign vCPU")
 	}
+	retrying := rc.cfg.Retry.enabled()
 	n := 0
 	for n < len(out) {
 		c, ok, err := rc.ring.PopComp()
@@ -563,6 +631,22 @@ func (rc *RingCaller) Poll(v *cpu.VCPU, out []shm.Comp) (int, error) {
 		}
 		if !ok {
 			break
+		}
+		if retrying && len(rc.retryQ) > 0 {
+			// Completions arrive in submission order, so the queue head is
+			// this completion's descriptor.
+			ent := rc.retryQ[0]
+			rc.retryQ = rc.retryQ[1:]
+			if c.Status == shm.CompBusy {
+				c2, swallowed, err := rc.retryBusy(v, ent)
+				if err != nil {
+					return n, err
+				}
+				if swallowed {
+					continue // re-submitted; its completion comes later
+				}
+				c = c2
+			}
 		}
 		out[n] = c
 		n++
@@ -573,12 +657,66 @@ func (rc *RingCaller) Poll(v *cpu.VCPU, out []shm.Comp) (int, error) {
 	return n, nil
 }
 
+// retryBusy handles one CompBusy completion under the retry policy:
+// back off on the guest clock and re-submit, unless the attachment is
+// dead (deliver CompErr) or the attempt budget is spent or the ring is
+// still full (deliver CompBusy). The returned bool reports whether the
+// completion was swallowed by a successful re-submission.
+func (rc *RingCaller) retryBusy(v *cpu.VCPU, ent retryEntry) (shm.Comp, bool, error) {
+	if rc.rs.dead.Load() {
+		return shm.Comp{Status: shm.CompErr}, false, nil
+	}
+	if ent.tries >= rc.cfg.Retry.MaxAttempts {
+		return shm.Comp{Status: shm.CompBusy}, false, nil
+	}
+	v.Charge(overload.Backoff(rc.retryRNG, rc.cfg.Retry.BaseBackoff, rc.cfg.Retry.MaxBackoff, ent.tries))
+	ok, err := rc.ring.PushDesc(ent.d)
+	if err != nil {
+		return shm.Comp{}, false, err
+	}
+	if !ok {
+		// Still full even after backing off: give the caller the bounce.
+		return shm.Comp{Status: shm.CompBusy}, false, nil
+	}
+	if rc.pending == 0 {
+		if err := rc.ring.Kick(); err != nil {
+			return shm.Comp{}, false, err
+		}
+		rc.firstPending = v.Clock().Now()
+	}
+	rc.pending++
+	ent.tries++
+	rc.retryQ = append(rc.retryQ, ent)
+	rc.rs.retried.Add(1)
+	return shm.Comp{}, true, nil
+}
+
+// drainTarget is one live ring a DrainRings pass will service, and
+// drainGroup is one guest's rings plus its weighted-fair poll weight.
+type drainTarget struct {
+	a  *Attachment
+	rs *ringState
+}
+type drainGroup struct {
+	weight  int
+	targets []drainTarget
+}
+
 // DrainRings is the manager-side poller: walk every live ring in
 // deterministic order and service queued descriptors on the manager VM's
 // own vCPU (its clock pays for the work, as host-side manager code). At
 // most budget descriptors are serviced per call (budget <= 0 means no
 // bound); the fleet scheduler interleaves bounded passes with tenant
 // quanta so polling cannot starve the cores.
+//
+// A positive budget is split weighted-fair across guests (see
+// SetPollWeight) so one tenant's deep rings cannot monopolise the pass:
+// each guest is first offered its proportional share (at least one
+// descriptor), then leftover budget is redistributed work-conservingly,
+// starting from a cursor that rotates across passes. With overload
+// control armed (SetOverload), a ring whose queue is still deep after
+// its share is trimmed by CompBusy bounce-backs instead of being left to
+// grow stale.
 //
 // DrainRings serialises on an internal lock, and the drained work charges
 // the manager vCPU's clock — callers must not race it against other
@@ -588,18 +726,14 @@ func (m *Manager) DrainRings(budget int) (int, error) {
 	m.pollMu.Lock()
 	defer m.pollMu.Unlock()
 
-	// Snapshot the live rings in (VM id, vslot) order.
-	type target struct {
-		a  *Attachment
-		rs *ringState
-	}
+	// Snapshot the live rings in (VM id, vslot) order, grouped by guest.
 	m.mu.Lock()
 	ids := make([]int, 0, len(m.guests))
 	for id := range m.guests {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
-	var targets []target
+	var groups []drainGroup
 	for _, id := range ids {
 		gs := m.guests[id]
 		vslots := make([]int, 0, len(gs.vslots))
@@ -607,25 +741,142 @@ func (m *Manager) DrainRings(budget int) (int, error) {
 			vslots = append(vslots, vs)
 		}
 		sort.Ints(vslots)
+		var targets []drainTarget
 		for _, vs := range vslots {
 			a := gs.vslots[vs]
 			if a != nil && !a.revoked && a.ring != nil {
-				targets = append(targets, target{a, a.ring})
+				targets = append(targets, drainTarget{a, a.ring})
 			}
+		}
+		if len(targets) > 0 {
+			w := gs.pollWeight
+			if w <= 0 {
+				w = 1
+			}
+			groups = append(groups, drainGroup{weight: w, targets: targets})
 		}
 	}
 	m.mu.Unlock()
+	if len(groups) == 0 {
+		return 0, nil
+	}
+
+	// Unbounded pass: service everything, in order — no shares to split.
+	if budget <= 0 {
+		total := 0
+		for _, g := range groups {
+			for _, t := range g.targets {
+				n, err := m.drainRing(t.a, t.rs, -1)
+				total += n
+				if err != nil {
+					return total, err
+				}
+			}
+		}
+		return total, nil
+	}
+
+	sumW := 0
+	for _, g := range groups {
+		sumW += g.weight
+	}
+	start := m.drainCursor % len(groups)
+	m.drainCursor++
 
 	total := 0
-	for _, t := range targets {
-		if budget > 0 && total >= budget {
+	// Pass 1: proportional shares, clamped to the remaining budget.
+	for i := 0; i < len(groups) && total < budget; i++ {
+		g := groups[(start+i)%len(groups)]
+		share := budget * g.weight / sumW
+		if share < 1 {
+			share = 1
+		}
+		if share > budget-total {
+			share = budget - total
+		}
+		n, err := m.drainRingGroup(g, share)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	// Pass 2: hand leftover budget to whoever still has queued work, so
+	// weighted fairness never idles the poller (work conservation).
+	for i := 0; i < len(groups) && total < budget; i++ {
+		g := groups[(start+i)%len(groups)]
+		n, err := m.drainRingGroup(g, budget-total)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	// Overload: a budget-exhausted pass means queues are outrunning drain
+	// capacity — trim each still-deep ring by bouncing the excess back as
+	// CompBusy, so guests see backpressure now instead of unbounded queue
+	// delay later.
+	if m.ov.Enabled && total >= budget {
+		for i := 0; i < len(groups); i++ {
+			g := groups[(start+i)%len(groups)]
+			for _, t := range g.targets {
+				if err := m.trimRing(t.rs); err != nil {
+					return total, err
+				}
+			}
+		}
+	}
+	return total, nil
+}
+
+// trimRing bounces a saturated ring's excess descriptors back as
+// CompBusy, down to the armed BusyFrac occupancy. Host-side manager code
+// under pollMu: the completion writes charge the manager clock; the
+// bounced work never runs.
+func (m *Manager) trimRing(rs *ringState) error {
+	allowed := int(m.ov.BusyFrac * float64(rs.depth))
+	rs.drainMu.Lock()
+	defer rs.drainMu.Unlock()
+	clk := m.vm.VCPU().Clock()
+	cost := m.hv.Cost()
+	clk.Advance(cost.LockAcquire)
+	defer clk.Advance(cost.LockRelease)
+	txn, err := rs.host.BeginDrain()
+	if err != nil {
+		return err
+	}
+	n := 0
+	for txn.Pending() > allowed && txn.CQFree() > 0 {
+		_, ok, err := txn.PopDesc()
+		if err != nil {
+			return err
+		}
+		if !ok {
 			break
 		}
-		left := -1
-		if budget > 0 {
-			left = budget - total
+		if ok, err := txn.PushComp(shm.Comp{Status: shm.CompBusy}); err != nil {
+			return err
+		} else if !ok {
+			break
 		}
-		n, err := m.drainRing(t.a, t.rs, left)
+		n++
+	}
+	if err := txn.Close(); err != nil {
+		return err
+	}
+	if n > 0 {
+		rs.busied.Add(uint64(n))
+	}
+	return nil
+}
+
+// drainRingGroup services up to limit descriptors across one guest's
+// rings, in vslot order. Callers hold pollMu.
+func (m *Manager) drainRingGroup(g drainGroup, limit int) (int, error) {
+	total := 0
+	for _, t := range g.targets {
+		if total >= limit {
+			break
+		}
+		n, err := m.drainRing(t.a, t.rs, limit-total)
 		total += n
 		if err != nil {
 			return total, err
@@ -725,6 +976,7 @@ func (m *Manager) failRing(a *Attachment, rs *ringState) {
 	if rs == nil {
 		return
 	}
+	rs.dead.Store(true) // stop guest-side busy retries before failing the queue
 	m.pollMu.Lock()
 	defer m.pollMu.Unlock()
 	rs.drainMu.Lock()
@@ -770,6 +1022,7 @@ func detachRingLocked(a *Attachment) *hv.HostRegion {
 	if a.ring == nil {
 		return nil
 	}
+	a.ring.dead.Store(true)
 	region := a.ring.region
 	a.ring = nil
 	return region
@@ -802,6 +1055,11 @@ type RingStats struct {
 	// Failed counts descriptors completed administratively (CompErr) when
 	// the attachment was revoked or detached with work still queued.
 	Failed uint64
+	// Busied counts descriptors bounced back as CompBusy by overload
+	// control; Retried counts the guest-side re-submissions those bounces
+	// triggered under a RetryPolicy.
+	Busied  uint64
+	Retried uint64
 	// BatchP50 and BatchP99 are percentiles of the batch-size
 	// distribution across both drain sides.
 	BatchP50 int64
@@ -860,6 +1118,8 @@ func (m *Manager) RingStats() []RingStats {
 			Drains:  rs.drains.Load(),
 			Drained: rs.drained.Load(),
 			Failed:  rs.failed.Load(),
+			Busied:  rs.busied.Load(),
+			Retried: rs.retried.Load(),
 		}
 		// The free window never errors on a live region; a racing teardown
 		// is excluded by snapshotting under m.mu above and freeing under

@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"github.com/elisa-go/elisa/internal/simtime"
 )
 
 func TestRegistryComplete(t *testing.T) {
@@ -13,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig_memcached",
 		"ablation_batch", "ablation_callmulti", "ablation_contexts", "ablation_negotiation", "ablation_tlb",
 		"ext_consolidation", "ext_fault_recovery", "ext_fleet_scaling", "ext_hugepages", "ext_memory",
-		"ext_ring_batching",
+		"ext_overload", "ext_ring_batching",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -88,6 +90,57 @@ func TestRingBatchingDeterministic(t *testing.T) {
 	}
 	if a, b := run(), run(); a != b {
 		t.Fatalf("non-deterministic report:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+// TestOverloadDeterministicReport: the overload sweep is a pure function
+// of its seeds — two runs must render byte-identical tables, busy and
+// shed counters included.
+func TestOverloadDeterministicReport(t *testing.T) {
+	e, ok := ByID("ext_overload")
+	if !ok {
+		t.Fatal("ext_overload not registered")
+	}
+	run := func() string {
+		tbl, err := e.Run(Config{Quick: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic overload report:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+// TestOverloadGoodputPlateau is the acceptance floor for the overload
+// control plane: past saturation, aggregate goodput must hold within 10%
+// of its sweep peak (no congestion collapse), and the highest class's
+// p99 must stay bounded even at 8x offered load.
+func TestOverloadGoodputPlateau(t *testing.T) {
+	window := 300 * simtime.Microsecond
+	var peak, at8x float64
+	var hiP99 simtime.Duration
+	for _, m := range overloadMults {
+		p, err := runOverloadPoint(m, window)
+		if err != nil {
+			t.Fatalf("overload point %gx: %v", m, err)
+		}
+		if p.goodput > peak {
+			peak = p.goodput
+		}
+		if m == 8 {
+			at8x = p.goodput
+			hiP99 = p.hiP99
+		}
+	}
+	if at8x < 0.9*peak {
+		t.Fatalf("goodput at 8x = %.2f Mops/s, below 90%% of peak %.2f Mops/s — congestion collapse", at8x/1e6, peak/1e6)
+	}
+	// The high class is drained at weight 4 and never shed: its p99 must
+	// stay within ordinary queueing range, not blow up with offered load.
+	if limit := 10 * simtime.Microsecond; hiP99 > limit {
+		t.Fatalf("high-class p99 at 8x = %dns, above the %dns bound", int64(hiP99), int64(limit))
 	}
 }
 

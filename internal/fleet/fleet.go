@@ -21,11 +21,21 @@ import (
 	"github.com/elisa-go/elisa/internal/des"
 	"github.com/elisa-go/elisa/internal/fault"
 	"github.com/elisa-go/elisa/internal/hv"
+	"github.com/elisa-go/elisa/internal/overload"
 	"github.com/elisa-go/elisa/internal/shm"
 	"github.com/elisa-go/elisa/internal/simtime"
 	"github.com/elisa-go/elisa/internal/stats"
 	"github.com/elisa-go/elisa/internal/workload"
 )
+
+// TenantClass is a tenant's load-shedding priority class: 0 is the
+// lowest; under sustained saturation the shedder drops lower classes
+// first, and the top class (Config.Classes-1) is never shed.
+type TenantClass int
+
+// MaxTenantClasses bounds Config.Classes, keeping the per-class drop
+// counters a fixed-size (and so ==-comparable) array in Report.
+const MaxTenantClasses = 8
 
 // Config configures a Scheduler.
 type Config struct {
@@ -67,6 +77,41 @@ type Config struct {
 	// the poller, leaving rings to the tenants' own gate flushes). Only
 	// meaningful with RingDepth.
 	PollBudget int
+
+	// Overload-control knobs. All are opt-in: the zero values keep the
+	// pre-overload fleet behaviour bit-for-bit.
+
+	// Classes enables priority-class load shedding with this many classes
+	// (at most MaxTenantClasses; 0 = shedding off). Arrivals are shed
+	// lowest class first once fleet-wide queue occupancy stays above the
+	// watermarks (see internal/overload.Shedder).
+	Classes int
+	// ShedLow and ShedHigh are the shedder's occupancy watermarks
+	// (fractions of total queue capacity; defaults 0.5 and 0.9), and
+	// ShedAfter is how long saturation must be sustained before shedding
+	// engages (default: shed immediately).
+	ShedLow, ShedHigh float64
+	ShedAfter         simtime.Duration
+	// AdmitBurst is the default token-bucket burst for tenants with an
+	// AdmitRateOPS (default 16); TenantSpec.AdmitBurst overrides it.
+	AdmitBurst int
+	// BreakerThreshold enables per-tenant circuit breakers: a tenant
+	// firing this many faults within BreakerWindow is quarantined for
+	// BreakerCooldown (doubling per re-trip) instead of churning the
+	// repair path. 0 disables breakers. Only meaningful with Faults.
+	BreakerThreshold int
+	BreakerWindow    simtime.Duration
+	BreakerCooldown  simtime.Duration
+	// RingRetry is the retry policy tenants' ring callers apply to
+	// CompBusy bounce-backs (zero value: no retries). Each tenant's
+	// jitter RNG is seeded with RingRetry.Seed plus its admission index.
+	// Only meaningful with RingDepth.
+	RingRetry core.RetryPolicy
+	// Overload, when Enabled, arms the manager's drain-side overload
+	// control (busy bounce-backs, weighted-fair poll budget — see
+	// core.Manager.SetOverload) and weights each tenant's drain share by
+	// Weight×(1+Class).
+	Overload core.OverloadConfig
 }
 
 // TenantSpec describes one tenant to admit.
@@ -88,6 +133,15 @@ type TenantSpec struct {
 	RateOPS float64
 	// Ops caps the total arrivals (0 = unlimited until the run deadline).
 	Ops int
+	// Class is the tenant's load-shedding priority class (0 = lowest;
+	// must be below Config.Classes when shedding is enabled).
+	Class TenantClass
+	// AdmitRateOPS, when positive, rate-limits this tenant's arrivals
+	// with a token bucket: arrivals beyond the rate are refused before
+	// they queue (counted as Throttled). AdmitBurst overrides the
+	// fleet-wide Config.AdmitBurst for this tenant.
+	AdmitRateOPS float64
+	AdmitBurst   int
 }
 
 // strideScale is the stride-scheduling numerator: pass advances by
@@ -129,6 +183,18 @@ type Tenant struct {
 	crashed   bool
 	recovered bool
 	lost      uint64
+
+	// overload control (nil / zero when the knobs are off): bucket
+	// rate-limits arrivals, breaker quarantines fault-storming tenants,
+	// prevFaults is the injector count already fed to the breaker.
+	bucket      *overload.TokenBucket
+	breaker     *overload.Breaker
+	prevFaults  uint64
+	quarantined bool
+	throttled   uint64 // arrivals refused by the token bucket
+	shed        uint64 // arrivals refused by the load shedder
+	breakerShed uint64 // arrivals refused while quarantined
+	busied      uint64 // ops bounced back CompBusy (retries exhausted)
 }
 
 // Crashed reports whether the tenant's guest died during a run.
@@ -155,6 +221,11 @@ type Scheduler struct {
 	ran     bool
 
 	inj *fault.Injector // armed from cfg.Faults (nil = chaos off)
+
+	// shedder is the fleet-wide load-shed controller (nil = shedding
+	// off); shedByClass counts its refusals per priority class.
+	shedder     *overload.Shedder
+	shedByClass [MaxTenantClasses]uint64
 }
 
 // New builds an empty fleet over an existing machine.
@@ -185,10 +256,24 @@ func New(h *hv.Hypervisor, mgr *core.Manager, cfg Config) (*Scheduler, error) {
 			cfg.PollBudget = 64
 		}
 	}
+	if cfg.Classes > MaxTenantClasses {
+		return nil, fmt.Errorf("fleet: %d priority classes exceeds the cap %d", cfg.Classes, MaxTenantClasses)
+	}
+	if cfg.AdmitBurst <= 0 {
+		cfg.AdmitBurst = 16
+	}
 	s := &Scheduler{hv: h, mgr: mgr, cfg: cfg}
 	if cfg.Faults != nil {
 		s.inj = fault.NewInjector(cfg.Faults)
 		mgr.SetInjector(s.inj)
+	}
+	if cfg.Classes > 0 {
+		s.shedder = overload.NewShedder(overload.ShedConfig{
+			Low: cfg.ShedLow, High: cfg.ShedHigh, After: cfg.ShedAfter, Classes: cfg.Classes,
+		})
+	}
+	if cfg.Overload.Enabled {
+		mgr.SetOverload(cfg.Overload)
 	}
 	return s, nil
 }
@@ -220,6 +305,9 @@ func (s *Scheduler) Admit(spec TenantSpec) (*Tenant, error) {
 	if spec.RAMBytes == 0 {
 		spec.RAMBytes = 16 * 4096
 	}
+	if spec.Class < 0 || (s.cfg.Classes > 0 && int(spec.Class) >= s.cfg.Classes) {
+		return nil, fmt.Errorf("fleet: tenant %q class %d outside [0, %d)", spec.Name, spec.Class, s.cfg.Classes)
+	}
 	idx := len(s.tenants)
 	arrival, err := workload.NewPoisson(s.cfg.Seed+int64(idx)*7919+1, spec.RateOPS)
 	if err != nil {
@@ -242,6 +330,24 @@ func (s *Scheduler) Admit(spec TenantSpec) (*Tenant, error) {
 		stride:  strideScale / uint64(spec.Weight),
 		hist:    stats.NewHistogram(),
 	}
+	if spec.AdmitRateOPS > 0 {
+		burst := spec.AdmitBurst
+		if burst <= 0 {
+			burst = s.cfg.AdmitBurst
+		}
+		t.bucket = overload.NewTokenBucket(spec.AdmitRateOPS, burst)
+	}
+	if s.cfg.BreakerThreshold > 0 {
+		t.breaker = overload.NewBreaker(overload.BreakerConfig{
+			Threshold: s.cfg.BreakerThreshold,
+			Window:    s.cfg.BreakerWindow,
+			Cooldown:  s.cfg.BreakerCooldown,
+		})
+	}
+	ringRetry := s.cfg.RingRetry
+	if ringRetry.MaxAttempts > 0 {
+		ringRetry.Seed += int64(idx) // distinct deterministic jitter per tenant
+	}
 	for _, obj := range spec.Objects {
 		h, err := g.Attach(obj)
 		if err != nil {
@@ -249,12 +355,21 @@ func (s *Scheduler) Admit(spec TenantSpec) (*Tenant, error) {
 		}
 		t.handles = append(t.handles, h)
 		if s.cfg.RingDepth > 0 {
-			rc, err := h.Ring(vm.VCPU(), core.RingConfig{Depth: s.cfg.RingDepth, Deadline: s.cfg.RingDeadline})
+			rc, err := h.Ring(vm.VCPU(), core.RingConfig{Depth: s.cfg.RingDepth, Deadline: s.cfg.RingDeadline, Retry: ringRetry})
 			if err != nil {
 				return nil, fmt.Errorf("fleet: tenant %q ring on %q: %w", spec.Name, obj, err)
 			}
 			t.rings = append(t.rings, rc)
 			t.ringPend = append(t.ringPend, nil)
+		}
+	}
+	if s.cfg.Overload.Enabled {
+		// Drain-side fairness: higher classes earn a larger share of the
+		// poll budget on top of their scheduling weight. This must follow
+		// the first Attach — the manager builds a guest's ELISA state
+		// lazily on negotiation.
+		if err := s.mgr.SetPollWeight(vm, spec.Weight*(1+int(spec.Class))); err != nil {
+			return nil, fmt.Errorf("fleet: tenant %q: %w", spec.Name, err)
 		}
 	}
 	s.tenants = append(s.tenants, t)
@@ -307,7 +422,7 @@ func (s *Scheduler) Run(d simtime.Duration) (*Report, error) {
 			}
 			var next *Tenant
 			for _, t := range s.tenants {
-				if t.crashed || len(t.queue) == 0 {
+				if t.crashed || t.quarantined || len(t.queue) == 0 {
 					continue
 				}
 				if next == nil || t.pass < next.pass || (t.pass == next.pass && t.index < next.index) {
@@ -395,9 +510,21 @@ func (s *Scheduler) Run(d simtime.Duration) (*Report, error) {
 				return
 			}
 			t.submitted++
-			if len(t.queue) >= s.cfg.QueueDepth {
+			// Overload gates, cheapest refusal first: the token bucket and
+			// the quarantine check refuse before any state is touched, the
+			// shedder refuses by fleet-wide occupancy and class, and only
+			// then does the bounded queue drop blindly.
+			switch {
+			case t.bucket != nil && !t.bucket.Allow(now):
+				t.throttled++
+			case t.quarantined:
+				t.breakerShed++
+			case s.shedder != nil && !s.shedder.Admit(now, s.occupancyLocked(), int(t.spec.Class)):
+				t.shed++
+				s.shedByClass[t.spec.Class]++
+			case len(t.queue) >= s.cfg.QueueDepth:
 				t.dropped++
-			} else {
+			default:
 				t.queue = append(t.queue, now)
 				if len(t.queue) > t.maxQueue {
 					t.maxQueue = len(t.queue)
@@ -424,6 +551,7 @@ func (s *Scheduler) Run(d simtime.Duration) (*Report, error) {
 			s.mgr.PumpFaults(now)
 			_, _ = s.mgr.FsckRepair()
 			s.sweepDead()
+			s.pumpBreakers(now)
 			_, _ = sim.After(s.cfg.PumpEvery, pump)
 		}
 		if _, err := sim.After(s.cfg.PumpEvery, pump); err != nil {
@@ -447,9 +575,58 @@ func (s *Scheduler) Run(d simtime.Duration) (*Report, error) {
 	return s.reportLocked(), nil
 }
 
+// occupancyLocked is the shedder's input: the fleet-wide fraction of
+// total queue capacity in use across live tenants. Callers hold s.mu.
+func (s *Scheduler) occupancyLocked() float64 {
+	queued, alive := 0, 0
+	for _, t := range s.tenants {
+		if t.crashed {
+			continue
+		}
+		alive++
+		queued += len(t.queue)
+	}
+	if alive == 0 {
+		return 0
+	}
+	return float64(queued) / float64(alive*s.cfg.QueueDepth)
+}
+
+// pumpBreakers feeds each tenant's circuit breaker the injector faults
+// fired since the last pump tick; a quiet tick is a success probe. A
+// tenant whose breaker is open is quarantined: not scheduled, and its
+// arrivals are refused until the (doubling) cooldown expires. Callers
+// hold s.mu.
+func (s *Scheduler) pumpBreakers(now simtime.Time) {
+	if s.inj == nil || s.cfg.BreakerThreshold <= 0 {
+		return
+	}
+	fired := s.inj.FiredByGuest()
+	for _, t := range s.tenants {
+		if t.breaker == nil || t.crashed {
+			continue
+		}
+		if n := fired[t.spec.Name]; n > t.prevFaults {
+			for i := t.prevFaults; i < n; i++ {
+				t.breaker.RecordFault(now)
+			}
+			t.prevFaults = n
+		} else {
+			t.breaker.RecordSuccess(now)
+		}
+		t.quarantined = t.breaker.State(now) == overload.BreakerOpen
+	}
+}
+
 // harvestTenant polls every ring of a tenant, matching completions to
 // their arrival stamps in FIFO order (rings complete in submission
-// order). It returns the vCPU time the polling consumed.
+// order). A CompBusy completion — the retry policy's attempts exhausted,
+// or no policy armed — consumes its stamp but counts as busied, not
+// completed. Busy retries the ring caller swallowed re-enter the ring at
+// the tail, so under heavy bouncing a stamp can pair with a later op's
+// completion; the skew is deterministic and bounded by the ring depth,
+// and only smears queueing latency attribution, never counts. It returns
+// the vCPU time the polling consumed.
 func (s *Scheduler) harvestTenant(t *Tenant, now simtime.Time) simtime.Duration {
 	v := t.vm.VCPU()
 	c0 := v.Clock().Now()
@@ -466,6 +643,10 @@ func (s *Scheduler) harvestTenant(t *Tenant, now simtime.Time) simtime.Duration 
 				}
 				arrived := t.ringPend[i][0]
 				t.ringPend[i] = t.ringPend[i][1:]
+				if comps[j].Status == shm.CompBusy {
+					t.busied++
+					continue
+				}
 				if comps[j].Status != shm.CompOK {
 					t.fnErrors++
 					continue
@@ -561,6 +742,10 @@ type Report struct {
 	// firings in order, then recovery counts) — the byte-identical
 	// artefact the determinism regression compares.
 	FaultTrace string
+
+	// ShedByClass counts load-shed refusals per priority class (all zero
+	// when shedding is off).
+	ShedByClass [MaxTenantClasses]uint64
 }
 
 // TenantReport is one tenant's accounting for a run.
@@ -577,6 +762,17 @@ type TenantReport struct {
 	Crashed   bool
 	Recovered bool
 	Lost      uint64
+	// Class is the tenant's priority class. Throttled counts arrivals the
+	// admission token bucket refused, Shed the load shedder's refusals,
+	// BreakerShed arrivals refused while quarantined, and Busied ops
+	// bounced back CompBusy with retries exhausted. Quarantined reports
+	// whether the circuit breaker held the tenant open at report time.
+	Class       int
+	Throttled   uint64
+	Shed        uint64
+	BreakerShed uint64
+	Busied      uint64
+	Quarantined bool
 	// GoodputOPS is completed ops per simulated second.
 	GoodputOPS float64
 	// P50/P99 are call completion latencies (queueing included).
@@ -591,19 +787,25 @@ func (s *Scheduler) reportLocked() *Report {
 	r := &Report{Duration: s.elapsed, Cores: s.cfg.Cores}
 	for _, t := range s.tenants {
 		tr := TenantReport{
-			Name:      t.spec.Name,
-			Weight:    t.spec.Weight,
-			Submitted: t.submitted,
-			Completed: t.completed,
-			Dropped:   t.dropped,
-			FnErrors:  t.fnErrors,
-			Crashed:   t.crashed,
-			Recovered: t.recovered,
-			Lost:      t.lost,
-			P50:       simtime.Duration(t.hist.Percentile(0.50)),
-			P99:       simtime.Duration(t.hist.Percentile(0.99)),
-			MaxQueue:  t.maxQueue,
-			CoreTime:  t.coreTime,
+			Name:        t.spec.Name,
+			Weight:      t.spec.Weight,
+			Submitted:   t.submitted,
+			Completed:   t.completed,
+			Dropped:     t.dropped,
+			FnErrors:    t.fnErrors,
+			Crashed:     t.crashed,
+			Recovered:   t.recovered,
+			Lost:        t.lost,
+			Class:       int(t.spec.Class),
+			Throttled:   t.throttled,
+			Shed:        t.shed,
+			BreakerShed: t.breakerShed,
+			Busied:      t.busied,
+			Quarantined: t.quarantined,
+			P50:         simtime.Duration(t.hist.Percentile(0.50)),
+			P99:         simtime.Duration(t.hist.Percentile(0.99)),
+			MaxQueue:    t.maxQueue,
+			CoreTime:    t.coreTime,
 		}
 		if s.elapsed > 0 {
 			tr.GoodputOPS = float64(t.completed) * 1e9 / float64(s.elapsed)
@@ -620,6 +822,7 @@ func (s *Scheduler) reportLocked() *Report {
 		r.Repairs = rs.Repairs
 		r.Retries = rs.Retries
 	}
+	r.ShedByClass = s.shedByClass
 	return r
 }
 

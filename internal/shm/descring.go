@@ -69,7 +69,7 @@ type Desc struct {
 type Comp struct {
 	// Ret is the function result (the RAX a gate call would return).
 	Ret uint64
-	// Status is CompOK or CompErr.
+	// Status is CompOK, CompErr, or CompBusy.
 	Status uint64
 }
 
@@ -81,6 +81,11 @@ const (
 	// descriptors failed administratively when their attachment was
 	// revoked before they ran.
 	CompErr uint64 = 1
+	// CompBusy marks a completion refused for overload: the drain side
+	// ran out of budget and bounced the descriptor back instead of
+	// servicing it. The operation did not run; the guest may retry
+	// after backing off (see core.RetryPolicy).
+	CompBusy uint64 = 2
 )
 
 // Byte sizes of the on-ring records and header.

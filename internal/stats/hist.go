@@ -13,42 +13,59 @@ import (
 )
 
 // Histogram is a log-bucketed latency histogram (HDR-style): values are
-// bucketed with ~4.6% relative error (16 sub-buckets per octave), which is
-// plenty for p50/p99 comparisons while staying allocation-free per record.
+// bucketed with ~4.6% relative error at the default resolution (16
+// sub-buckets per octave), which is plenty for p50/p99 comparisons while
+// staying allocation-free per record.
 type Histogram struct {
 	buckets map[int]int64
+	sub     int // sub-buckets per octave (the bucket layout)
 	count   int64
 	sum     int64
 	min     int64
 	max     int64
 }
 
-const subBuckets = 16 // per power of two
+const defaultSubBuckets = 16 // per power of two
 
-// NewHistogram returns an empty histogram.
+// NewHistogram returns an empty histogram at the default resolution.
 func NewHistogram() *Histogram {
-	return &Histogram{buckets: make(map[int]int64), min: math.MaxInt64}
+	return NewHistogramRes(defaultSubBuckets)
 }
 
-// bucketOf maps a value to its bucket index.
-func bucketOf(v int64) int {
-	if v < subBuckets {
+// NewHistogramRes returns an empty histogram with sub sub-buckets per
+// octave (minimum 1). Histograms with different resolutions have
+// incompatible bucket layouts; Merge rebuckets across them (see Merge).
+func NewHistogramRes(sub int) *Histogram {
+	if sub < 1 {
+		sub = 1
+	}
+	return &Histogram{buckets: make(map[int]int64), sub: sub, min: math.MaxInt64}
+}
+
+// Resolution returns the histogram's sub-buckets per octave.
+func (h *Histogram) Resolution() int { return h.sub }
+
+// bucketOf maps a value to its bucket index in h's layout.
+func (h *Histogram) bucketOf(v int64) int {
+	sub := int64(h.sub)
+	if v < sub {
 		return int(v) // exact for tiny values
 	}
 	exp := 63 - int64(leadingZeros(uint64(v)))
-	// Position within the octave, quantised to subBuckets slots.
-	frac := (v - (1 << exp)) * subBuckets >> exp
-	return int(exp)*subBuckets + int(frac)
+	// Position within the octave, quantised to sub slots.
+	frac := (v - (1 << exp)) * sub >> exp
+	return int(exp)*h.sub + int(frac)
 }
 
-// bucketLow returns the lower bound of a bucket (its representative value).
-func bucketLow(b int) int64 {
-	if b < subBuckets {
+// bucketLow returns the lower bound of a bucket (its representative
+// value) in h's layout.
+func (h *Histogram) bucketLow(b int) int64 {
+	if b < h.sub {
 		return int64(b)
 	}
-	exp := b / subBuckets
-	frac := int64(b % subBuckets)
-	return (1 << exp) + frac<<exp/subBuckets
+	exp := b / h.sub
+	frac := int64(b % h.sub)
+	return (1 << exp) + frac<<exp/int64(h.sub)
 }
 
 func leadingZeros(v uint64) int {
@@ -67,7 +84,7 @@ func (h *Histogram) Record(v int64) {
 	if v < 0 {
 		v = 0
 	}
-	h.buckets[bucketOf(v)]++
+	h.buckets[h.bucketOf(v)]++
 	h.count++
 	h.sum += v
 	if v < h.min {
@@ -132,22 +149,33 @@ func (h *Histogram) Percentile(q float64) int64 {
 	for _, k := range keys {
 		seen += h.buckets[k]
 		if seen >= target {
-			return bucketLow(k)
+			return h.bucketLow(k)
 		}
 	}
 	return h.max
 }
 
-// Merge folds other's observations into h (bucket-wise, so the merged
-// percentiles match what recording every sample into h would have given).
-// A nil or empty other is a no-op. The per-guest and per-attachment views
-// of the observability layer are built by merging per-function histograms.
+// Merge folds other's observations into h. When the two histograms share
+// a bucket layout the merge is bucket-wise, so the merged percentiles
+// match what recording every sample into h would have given. Layouts
+// with different resolutions used to be merged bucket-wise too, silently
+// corrupting counts (bucket index i means different values at different
+// resolutions); now each of other's buckets is rebucketed through its
+// representative value into h's layout instead. A nil or empty other is
+// a no-op. The per-guest and per-attachment views of the observability
+// layer are built by merging per-function histograms.
 func (h *Histogram) Merge(other *Histogram) {
 	if other == nil || other.count == 0 {
 		return
 	}
-	for b, n := range other.buckets {
-		h.buckets[b] += n
+	if other.sub == h.sub {
+		for b, n := range other.buckets {
+			h.buckets[b] += n
+		}
+	} else {
+		for b, n := range other.buckets {
+			h.buckets[h.bucketOf(other.bucketLow(b))] += n
+		}
 	}
 	h.count += other.count
 	h.sum += other.sum
@@ -159,9 +187,10 @@ func (h *Histogram) Merge(other *Histogram) {
 	}
 }
 
-// Clone returns an independent copy of the histogram.
+// Clone returns an independent copy of the histogram, preserving its
+// bucket layout.
 func (h *Histogram) Clone() *Histogram {
-	c := NewHistogram()
+	c := NewHistogramRes(h.sub)
 	c.Merge(h)
 	return c
 }

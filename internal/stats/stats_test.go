@@ -104,15 +104,16 @@ func abs01(v float64) float64 {
 }
 
 // Property: bucketLow(bucketOf(v)) <= v for all positive v, and the bucket
-// representative is within 7% below v.
+// representative is within 7% below v at the default resolution.
 func TestBucketInverse(t *testing.T) {
+	h := NewHistogram()
 	f := func(raw uint32) bool {
 		v := int64(raw)
-		low := bucketLow(bucketOf(v))
+		low := h.bucketLow(h.bucketOf(v))
 		if low > v {
 			return false
 		}
-		if v >= subBuckets {
+		if v >= int64(h.Resolution()) {
 			return float64(v-low)/float64(v) <= 0.07
 		}
 		return low == v
@@ -166,6 +167,62 @@ func TestHistogramMergeEmptyAndNil(t *testing.T) {
 	empty.Merge(h)
 	if empty.Count() != 1 || empty.Min() != 7 {
 		t.Fatalf("merge into empty: %s", empty)
+	}
+}
+
+// TestHistogramMergeMismatchedLayouts is the regression test for the
+// silent-corruption bug: merging histograms with different bucket
+// resolutions used to add counts bucket-index-wise, attributing other's
+// samples to wildly wrong values in h. Merge must rebucket instead, so
+// count/sum/min/max stay exact and percentiles stay within the coarser
+// layout's quantisation error.
+func TestHistogramMergeMismatchedLayouts(t *testing.T) {
+	coarse := NewHistogramRes(4)
+	fine := NewHistogram() // 16 sub-buckets per octave
+	for v := int64(1); v <= 1000; v++ {
+		fine.Record(v)
+	}
+	coarse.Record(5000)
+	coarse.Merge(fine)
+	if coarse.Count() != 1001 || coarse.Min() != 1 || coarse.Max() != 5000 {
+		t.Fatalf("merged count/min/max: %d %d %d", coarse.Count(), coarse.Min(), coarse.Max())
+	}
+	wantSum := int64(5000) + 1000*1001/2
+	if coarse.Sum() != wantSum {
+		t.Fatalf("merged sum = %d, want %d", coarse.Sum(), wantSum)
+	}
+	// The p50 of 1..1000 plus one outlier is ~500; at 4 sub-buckets per
+	// octave the bucket representative may sit up to ~20% low, where the
+	// index-wise merge bug put it off by orders of magnitude.
+	if p := coarse.Percentile(0.5); p < 400 || p > 500 {
+		t.Fatalf("merged p50 = %d, want ~500 within coarse quantisation", p)
+	}
+	// Merging the other direction (coarse into fine) rebuckets too.
+	fine2 := NewHistogram()
+	fine2.Merge(coarse)
+	if fine2.Count() != 1001 || fine2.Max() != 5000 {
+		t.Fatalf("fine-ward merge count/max: %d %d", fine2.Count(), fine2.Max())
+	}
+	if p := fine2.Percentile(1); p < 4000 {
+		t.Fatalf("fine-ward merge lost the outlier: p100 = %d", p)
+	}
+}
+
+// Clone must preserve a non-default bucket layout, not coerce it to the
+// default one (which would corrupt any later bucket-wise merge back).
+func TestHistogramCloneKeepsResolution(t *testing.T) {
+	h := NewHistogramRes(4)
+	for v := int64(1); v <= 300; v++ {
+		h.Record(v)
+	}
+	c := h.Clone()
+	if c.Resolution() != 4 {
+		t.Fatalf("clone resolution = %d, want 4", c.Resolution())
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if c.Percentile(q) != h.Percentile(q) {
+			t.Fatalf("p%v: clone %d != original %d", q*100, c.Percentile(q), h.Percentile(q))
+		}
 	}
 }
 

@@ -21,6 +21,7 @@ func newMetricsRegistry(h *hv.Hypervisor, mgr *core.Manager, rec *obs.Recorder) 
 	reg.Register(collectManager(mgr))
 	reg.Register(collectSlots(mgr))
 	reg.Register(collectRings(mgr))
+	reg.Register(collectOverload(mgr))
 	reg.Register(collectFaults(h, mgr))
 	reg.Register(obs.CollectRecorder(rec))
 	return reg
@@ -74,6 +75,25 @@ func collectRings(mgr *core.Manager) obs.Collector {
 				obs.Sample{Labels: map[string]string{"guest": rs.Guest, "object": rs.Object, "q": "p99"}, Value: float64(rs.BatchP99)})
 		}
 		return []obs.Metric{queued, ready, depth, submitted, completed, kicks, drains, drained, failed, batch}
+	}
+}
+
+// collectOverload exports the overload-control datapath: per-ring busy
+// bounces and the retries they provoked. All-zero (but still present)
+// when overload control is disarmed, so dashboards can alert on the
+// first bounce.
+func collectOverload(mgr *core.Manager) obs.Collector {
+	return func() []obs.Metric {
+		busy := obs.Metric{Name: "elisa_overload_busy_total",
+			Help: "Descriptors bounced back CompBusy by drain-budget overload control.", Type: obs.TypeCounter}
+		retry := obs.Metric{Name: "elisa_overload_retry_total",
+			Help: "Guest-side backoff re-submissions after a CompBusy bounce.", Type: obs.TypeCounter}
+		for _, rs := range mgr.RingStats() {
+			labels := map[string]string{"guest": rs.Guest, "object": rs.Object}
+			busy.Samples = append(busy.Samples, obs.Sample{Labels: labels, Value: float64(rs.Busied)})
+			retry.Samples = append(retry.Samples, obs.Sample{Labels: labels, Value: float64(rs.Retried)})
+		}
+		return []obs.Metric{busy, retry}
 	}
 }
 
@@ -248,6 +268,10 @@ func collectFleet(f *fleet.Scheduler) obs.Collector {
 			Help: "Completed ops per simulated second, per tenant.", Type: obs.TypeGauge}
 		latency := obs.Metric{Name: "elisa_fleet_latency_ns",
 			Help: "Op completion latency quantiles (queueing included).", Type: obs.TypeGauge}
+		shed := obs.Metric{Name: "elisa_overload_shed_total",
+			Help: "Arrivals refused before the ring, by reason (admission = token bucket, shed = load shedder, breaker = quarantine).", Type: obs.TypeCounter}
+		quarantined := obs.Metric{Name: "elisa_overload_quarantined",
+			Help: "1 while the tenant's circuit breaker holds it quarantined.", Type: obs.TypeGauge}
 		rep := f.Snapshot()
 		for _, tr := range rep.Tenants {
 			labels := map[string]string{"tenant": tr.Name}
@@ -258,8 +282,17 @@ func collectFleet(f *fleet.Scheduler) obs.Collector {
 			latency.Samples = append(latency.Samples,
 				obs.Sample{Labels: map[string]string{"tenant": tr.Name, "q": "p50"}, Value: float64(tr.P50)},
 				obs.Sample{Labels: map[string]string{"tenant": tr.Name, "q": "p99"}, Value: float64(tr.P99)})
+			shed.Samples = append(shed.Samples,
+				obs.Sample{Labels: map[string]string{"tenant": tr.Name, "reason": "admission"}, Value: float64(tr.Throttled)},
+				obs.Sample{Labels: map[string]string{"tenant": tr.Name, "reason": "shed"}, Value: float64(tr.Shed)},
+				obs.Sample{Labels: map[string]string{"tenant": tr.Name, "reason": "breaker"}, Value: float64(tr.BreakerShed)})
+			q := 0.0
+			if tr.Quarantined {
+				q = 1
+			}
+			quarantined.Samples = append(quarantined.Samples, obs.Sample{Labels: labels, Value: q})
 		}
-		return []obs.Metric{submitted, completed, dropped, goodput, latency,
+		return []obs.Metric{submitted, completed, dropped, goodput, latency, shed, quarantined,
 			{Name: "elisa_fleet_tenants", Help: "Admitted tenants.", Type: obs.TypeGauge,
 				Samples: []obs.Sample{{Value: float64(len(rep.Tenants))}}},
 		}
