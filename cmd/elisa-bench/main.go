@@ -1,5 +1,6 @@
 // Command elisa-bench regenerates the paper's tables and figures on the
-// simulated machine.
+// simulated machine, and records the repository's performance trajectory
+// as schema-versioned BENCH_<n>.json snapshots.
 //
 // Usage:
 //
@@ -7,6 +8,13 @@
 //	elisa-bench table2 fig_net_rx
 //	elisa-bench -quick all
 //	elisa-bench -markdown all > results.md
+//	elisa-bench -quick -json            # append BENCH_<n>.json in .
+//	elisa-bench -quick -json -out B.json
+//
+// The -json mode runs the internal/perfgate bench kernels (not the paper
+// experiments) and writes one snapshot: simulated ops/s per kernel plus
+// the simulator's own wall-clock ns per simulated second and allocations
+// per op. Compare snapshots with elisa-benchdiff.
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"time"
 
 	"github.com/elisa-go/elisa/internal/experiments"
+	"github.com/elisa-go/elisa/internal/perfgate"
 )
 
 func main() {
@@ -23,6 +32,9 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 		quick    = flag.Bool("quick", false, "shrink operation counts (noisier tails, same shapes)")
 		markdown = flag.Bool("markdown", false, "emit GitHub-flavoured markdown")
+		jsonOut  = flag.Bool("json", false, "run the perfgate bench kernels and write a BENCH_<n>.json snapshot")
+		outPath  = flag.String("out", "", "with -json: exact snapshot path (default: next BENCH_<n>.json in -dir)")
+		dir      = flag.String("dir", ".", "with -json: directory holding the BENCH_<n>.json trajectory")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] <experiment-id>... | all\n\nflags:\n", os.Args[0])
@@ -37,6 +49,14 @@ func main() {
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-22s %s\n\t\tpaper: %s\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+
+	if *jsonOut {
+		if err := runBenchJSON(*quick, *outPath, *dir); err != nil {
+			fmt.Fprintf(os.Stderr, "elisa-bench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -77,4 +97,27 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runBenchJSON runs every perfgate kernel and writes one snapshot.
+func runBenchJSON(quick bool, outPath, dir string) error {
+	b, err := perfgate.MeasureAll(quick)
+	if err != nil {
+		return err
+	}
+	path := outPath
+	if path == "" {
+		if path, err = perfgate.NextPath(dir); err != nil {
+			return err
+		}
+	}
+	if err := perfgate.Write(path, b); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (schema %d, quick=%v)\n", path, b.Schema, b.Quick)
+	for _, k := range b.Kernels {
+		fmt.Printf("  %-14s %12.0f sim ops/s  %10.3g wall ns/sim s  %7.1f allocs/op\n",
+			k.ID, k.SimOpsPerSec, k.WallNsPerSimSec, k.AllocsPerOp)
+	}
+	return nil
 }

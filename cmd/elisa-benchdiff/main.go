@@ -1,0 +1,87 @@
+// Command elisa-benchdiff compares two BENCH_<n>.json performance
+// snapshots (see elisa-bench -json) and exits non-zero when any metric
+// regressed past its threshold — the CI perf gate.
+//
+// Usage:
+//
+//	elisa-benchdiff BENCH_0.json BENCH_1.json
+//	elisa-benchdiff -sim-threshold 0.05 base.json current.json
+//
+// Three metrics are compared per kernel, each with its own direction:
+// sim_ops_per_sec (higher is better; deterministic, tight threshold) and
+// allocs_per_op (lower is better; generous threshold) gate by default.
+// wall_ns_per_sim_sec swings with host load and hardware, so it is
+// recorded but ungated unless -wall-threshold is set above zero.
+// Improvements never fail the gate. Snapshots from different schema
+// versions or different -quick scales refuse to compare.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/elisa-go/elisa/internal/perfgate"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process exit, so tests can drive it.
+func run(argv []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("elisa-benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		simThresh   = fs.Float64("sim-threshold", 0.02, "tolerated sim_ops_per_sec drop (fraction)")
+		wallThresh  = fs.Float64("wall-threshold", 0, "tolerated wall_ns_per_sim_sec growth (fraction); 0 (default) leaves wall time ungated")
+		allocThresh = fs.Float64("alloc-threshold", 0.25, "tolerated allocs_per_op growth (fraction)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: elisa-benchdiff [flags] <baseline.json> <current.json>\n\nflags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	base, err := perfgate.Read(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "elisa-benchdiff: %v\n", err)
+		return 2
+	}
+	cur, err := perfgate.Read(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "elisa-benchdiff: %v\n", err)
+		return 2
+	}
+	specs := perfgate.DefaultSpecs()
+	for i := range specs {
+		switch specs[i].Name {
+		case "sim_ops_per_sec":
+			specs[i].Threshold = *simThresh
+		case "wall_ns_per_sim_sec":
+			specs[i].Threshold = *wallThresh
+		case "allocs_per_op":
+			specs[i].Threshold = *allocThresh
+		}
+	}
+	regs, err := perfgate.Diff(base, cur, specs)
+	if err != nil {
+		fmt.Fprintf(stderr, "elisa-benchdiff: %v\n", err)
+		return 2
+	}
+	if len(regs) == 0 {
+		fmt.Fprintf(stdout, "elisa-benchdiff: %s vs %s: no regressions (%d kernels)\n",
+			fs.Arg(0), fs.Arg(1), len(base.Kernels))
+		return 0
+	}
+	fmt.Fprintf(stdout, "elisa-benchdiff: %d regression(s):\n", len(regs))
+	for _, r := range regs {
+		fmt.Fprintf(stdout, "  REGRESSION %s\n", r)
+	}
+	return 1
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/elisa-go/elisa/internal/perfgate"
+)
+
+func snap(t *testing.T, dir, name string, simOps float64, allocs float64) string {
+	t.Helper()
+	b := &perfgate.Bench{
+		Schema: perfgate.SchemaVersion,
+		Quick:  true,
+		Kernels: []perfgate.KernelResult{
+			{ID: "call_rtt", Title: "t", SimOps: 500, SimElapsedNS: 98_000,
+				SimOpsPerSec: simOps, WallNsPerSimSec: 1e9, AllocsPerOp: allocs},
+		},
+	}
+	path := filepath.Join(dir, name)
+	if err := perfgate.Write(path, b); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// The acceptance bar: elisa-benchdiff must exit non-zero on a synthetic
+// regression and zero on a clean comparison.
+func TestBenchdiffExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+
+	base := snap(t, dir, "BENCH_0.json", 5.1e6, 3)
+	same := snap(t, dir, "BENCH_1.json", 5.1e6, 3)
+	worse := snap(t, dir, "BENCH_2.json", 4.0e6, 3) // -22% sim ops
+	better := snap(t, dir, "BENCH_3.json", 9.0e6, 1)
+
+	if code := run([]string{base, same}, devnull, devnull); code != 0 {
+		t.Errorf("identical snapshots exited %d, want 0", code)
+	}
+	if code := run([]string{base, worse}, devnull, devnull); code != 1 {
+		t.Errorf("synthetic regression exited %d, want 1", code)
+	}
+	if code := run([]string{base, better}, devnull, devnull); code != 0 {
+		t.Errorf("improvement exited %d, want 0", code)
+	}
+	// A looser threshold waves the same regression through.
+	if code := run([]string{"-sim-threshold", "0.5", base, worse}, devnull, devnull); code != 0 {
+		t.Errorf("regression within loosened threshold exited %d, want 0", code)
+	}
+}
+
+func TestBenchdiffUsageAndBadInput(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if code := run(nil, devnull, devnull); code != 2 {
+		t.Errorf("no args exited %d, want 2", code)
+	}
+	if code := run([]string{"nope.json", "nada.json"}, devnull, devnull); code != 2 {
+		t.Errorf("missing files exited %d, want 2", code)
+	}
+	dir := t.TempDir()
+	quick := snap(t, dir, "q.json", 5e6, 3)
+	full := filepath.Join(dir, "f.json")
+	b, _ := perfgate.Read(quick)
+	b.Quick = false
+	if err := perfgate.Write(full, b); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{quick, full}, devnull, devnull); code != 2 {
+		t.Errorf("quick/full mismatch exited %d, want 2", code)
+	}
+}

@@ -25,7 +25,14 @@ func main() {
 	traceDump := flag.Bool("trace", false, "also dump the slow-path trace buffer and the sampled fast-path span ring")
 	nFaults := flag.Int("faults", 0, "arm a seeded chaos plan with this many faults after the baseline dump, then print the fault/recovery trace (0 = off)")
 	faultSeed := flag.Int64("fault-seed", 42, "seed for the -faults chaos plan; same seed reproduces the same trace")
+	causal := flag.String("causal", "", `render causal ring-call chains from a seeded overload scenario: a trace ID (decimal or 0x-hex) or "all"`)
 	flag.Parse()
+	if *causal != "" {
+		if err := runCausal(*causal); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if err := run(*guests, *objects, *slotBudget, *traceDump, *nFaults, *faultSeed); err != nil {
 		log.Fatal(err)
 	}

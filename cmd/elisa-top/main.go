@@ -62,8 +62,19 @@ func main() {
 	ansi := flag.Bool("ansi", false, "redraw in place with ANSI escapes instead of printing frames sequentially")
 	prom := flag.Bool("prom", false, "dump Prometheus-format metrics at exit")
 	jsonOut := flag.Bool("json", false, "dump JSON metrics at exit")
+	once := flag.Bool("once", false, "with -json: drive exactly one interval and emit a machine-readable snapshot (bit-identical for the same flags), then exit")
 	spans := flag.Int("spans", 0, "print the last N sampled call spans at exit")
 	flag.Parse()
+	if *once {
+		if !*jsonOut {
+			log.Fatal("elisa-top: -once requires -json (the one-shot mode has no table renderer)")
+		}
+		if err := runOnce(os.Stdout, *guests, *objects, *slotBudget, *interval, *sample, *skew, *readRatio,
+			*errEvery, *ringDepth, *ringDeadlineUs, *pollBudget, *overload); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if err := run(*guests, *objects, *slotBudget, *frames, *interval, *sample, *skew, *readRatio, *errEvery,
 		*ringDepth, *ringDeadlineUs, *pollBudget, *overload, *faults, *faultSeed, *ansi, *prom, *jsonOut, *spans); err != nil {
 		log.Fatal(err)

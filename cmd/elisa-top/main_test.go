@@ -1,6 +1,47 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// The one-shot snapshot is a machine-readable contract: same flags, same
+// bytes. The golden file pins both the JSON schema and the simulated
+// counters; regenerate with `go test ./cmd/elisa-top -run Once -update`
+// after an intentional datapath change.
+func TestOnceJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	// Mirrors: -guests 2 -objects 2 -interval 1 -ring 8 -overload -poll-budget 16
+	if err := runOnce(&buf, 2, 2, 0, 1, 1, 1.1, 0.9, 64, 8, 5, 16, true); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "once.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("one-shot snapshot drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+	// And it must be deterministic run to run, not just vs the file.
+	var again bytes.Buffer
+	if err := runOnce(&again, 2, 2, 0, 1, 1, 1.1, 0.9, 64, 8, 5, 16, true); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("same-flag one-shot snapshots differ between runs")
+	}
+}
 
 // TestOverloadDeltaClamp is the regression test for the per-frame rate
 // columns after RecoverGuest/Reset: quarantining a crashed guest frees

@@ -81,6 +81,21 @@ type (
 	// Span is one recorded exit-less call, decomposed into the phases of
 	// the paper's Table 2 cost breakdown.
 	Span = obs.Span
+	// CausalLog is the flight recorder's causal-event log: every ring
+	// descriptor's submit→flush/drain→complete→deliver chain, with
+	// busy→backoff→retry loops and overload refusals linked in
+	// (Recorder.Causal).
+	CausalLog = obs.CausalLog
+	// RingEvent is one step in a ring descriptor's causal chain.
+	RingEvent = obs.RingEvent
+	// RingEventKind classifies a causal-chain step (submit, flush,
+	// drain, complete, busy, backoff, retry, deliver, fail, shed,
+	// throttle, breaker).
+	RingEventKind = obs.EventKind
+	// RingPhase indexes one interval of a ring descriptor's causal
+	// chain; its names are shared with the pprof labels obs.WithPhase
+	// applies, so wall-clock profiles and sim-time histograms line up.
+	RingPhase = obs.RingPhase
 	// Registry is the metrics registry behind System.Metrics, with
 	// Prometheus-text and JSON exporters.
 	Registry = obs.Registry

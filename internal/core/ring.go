@@ -12,6 +12,7 @@ import (
 	"github.com/elisa-go/elisa/internal/fault"
 	"github.com/elisa-go/elisa/internal/hv"
 	"github.com/elisa-go/elisa/internal/mem"
+	"github.com/elisa-go/elisa/internal/obs"
 	"github.com/elisa-go/elisa/internal/overload"
 	"github.com/elisa-go/elisa/internal/shm"
 	"github.com/elisa-go/elisa/internal/simtime"
@@ -256,6 +257,15 @@ type RingCaller struct {
 	inFlight     int          // submitted minus polled completions
 	firstPending simtime.Time // guest-clock stamp of the oldest unflushed submit
 
+	// Causal trace IDs: every descriptor is stamped at Submit with
+	// traceBase | seq, so the flight recorder can link its whole
+	// submit→flush/drain→complete→deliver chain (retries keep the ID).
+	// The base encodes (vm, vslot) and the sequence is per-caller, so
+	// IDs are deterministic for a given seed and never zero (zero means
+	// untraced on the wire).
+	traceBase uint64
+	traceSeq  uint64
+
 	// Retry state (only maintained when cfg.Retry is enabled): retryQ
 	// mirrors the descriptors in flight in completion order, so a
 	// CompBusy popped by Poll can be matched back to its descriptor and
@@ -312,7 +322,8 @@ func (h *Handle) Ring(v *cpu.VCPU, cfg RingConfig) (*RingCaller, error) {
 	if rs == nil {
 		return nil, fmt.Errorf("core: ring setup on %q vslot %d: manager lost the ring", h.objName, h.subIdx)
 	}
-	rc := &RingCaller{h: h, cfg: cfg, ring: ring, rs: rs, gpa: mem.GPA(gpaU)}
+	rc := &RingCaller{h: h, cfg: cfg, ring: ring, rs: rs, gpa: mem.GPA(gpaU),
+		traceBase: uint64(h.g.vm.ID()+1)<<48 | uint64(h.subIdx+1)<<32}
 	if cfg.Retry.enabled() {
 		seed := cfg.Retry.Seed
 		if seed == 0 {
@@ -371,6 +382,8 @@ func (rc *RingCaller) Submit(v *cpu.VCPU, fnID uint64, args ...uint64) error {
 	var d shm.Desc
 	d.Fn = fnID
 	copy(d.Args[:], args)
+	rc.traceSeq++
+	d.Trace = rc.traceBase | rc.traceSeq&0xffffffff
 	ok, err := rc.ring.PushDesc(d)
 	if err != nil {
 		return err
@@ -386,6 +399,10 @@ func (rc *RingCaller) Submit(v *cpu.VCPU, fnID uint64, args ...uint64) error {
 		} else if !ok {
 			return fmt.Errorf("core: ring %q/%q still full after flush", rc.h.g.vm.Name(), rc.h.objName)
 		}
+	}
+	if rec := rc.h.g.mgr.rec; rec != nil {
+		rec.Causal().Event(obs.RingEvent{Trace: d.Trace, Kind: obs.EvSubmit, Time: v.Clock().Now(),
+			Guest: rc.h.g.vm.Name(), Object: rc.h.objName, Fn: d.Fn})
 	}
 	if rc.pending == 0 {
 		// Empty -> non-empty: doorbell for the poller, deadline clock for
@@ -521,7 +538,7 @@ func (rc *RingCaller) Flush(v *cpu.VCPU) error {
 	v.Charge(cost.LockAcquire)
 	var firstFn uint64
 	n := 0
-	drainErr := func() error {
+	drainBody := func() error {
 		// One cursor snapshot for the whole batch; per-descriptor work
 		// touches only record bytes. An early return on vCPU death
 		// abandons the transaction unpublished — the batch stays queued
@@ -546,12 +563,17 @@ func (rc *RingCaller) Flush(v *cpu.VCPU) error {
 			var reqStart simtime.Time
 			if rec != nil {
 				reqStart = v.Clock().Now()
+				clog := rec.Causal()
+				clog.Event(obs.RingEvent{Trace: d.Trace, Kind: obs.EvFlush, Time: tSub,
+					Guest: h.g.vm.Name(), Object: h.objName, Fn: d.Fn})
+				clog.Event(obs.RingEvent{Trace: d.Trace, Kind: obs.EvDrain, Time: reqStart,
+					Guest: h.g.vm.Name(), Object: h.objName, Fn: d.Fn, Note: "gate-flush"})
 			}
 			ret, ferr := mgr.invoke(v, h, d.Fn, d.Args[:], exchp)
 			if v.Dead() {
 				return ferr
 			}
-			comp := shm.Comp{Ret: ret, Status: shm.CompOK}
+			comp := shm.Comp{Ret: ret, Status: shm.CompOK, Trace: d.Trace}
 			if ferr != nil {
 				comp.Status = shm.CompErr
 			}
@@ -562,11 +584,25 @@ func (rc *RingCaller) Flush(v *cpu.VCPU) error {
 			}
 			if rec != nil {
 				rec.RecordLatency(h.g.vm.Name(), h.objName, d.Fn, v.Clock().Elapsed(reqStart))
+				note := ""
+				if ferr != nil {
+					note = "err"
+				}
+				rec.Causal().Event(obs.RingEvent{Trace: d.Trace, Kind: obs.EvComplete, Time: v.Clock().Now(),
+					Guest: h.g.vm.Name(), Object: h.objName, Fn: d.Fn, Note: note})
 			}
 			n++
 		}
 		return txn.Close()
-	}()
+	}
+	var drainErr error
+	if rec != nil {
+		// Batch-granularity pprof label: the whole drain session is
+		// "service" in wall-clock profiles, matching the sim-time phase.
+		obs.WithPhase(obs.RingPhaseService.String(), func() { drainErr = drainBody() })
+	} else {
+		drainErr = drainBody()
+	}
 	v.Charge(cost.LockRelease)
 	rs.drainMu.Unlock()
 	if drainErr != nil {
@@ -623,6 +659,7 @@ func (rc *RingCaller) Poll(v *cpu.VCPU, out []shm.Comp) (int, error) {
 		return 0, fmt.Errorf("core: Poll on foreign vCPU")
 	}
 	retrying := rc.cfg.Retry.enabled()
+	rec := rc.h.g.mgr.rec
 	n := 0
 	for n < len(out) {
 		c, ok, err := rc.ring.PopComp()
@@ -648,6 +685,17 @@ func (rc *RingCaller) Poll(v *cpu.VCPU, out []shm.Comp) (int, error) {
 				c = c2
 			}
 		}
+		if rec != nil && c.Trace != 0 {
+			note := ""
+			switch c.Status {
+			case shm.CompErr:
+				note = "err"
+			case shm.CompBusy:
+				note = "busy"
+			}
+			rec.Causal().Event(obs.RingEvent{Trace: c.Trace, Kind: obs.EvDeliver, Time: v.Clock().Now(),
+				Guest: rc.h.g.vm.Name(), Object: rc.h.objName, Note: note})
+		}
 		out[n] = c
 		n++
 		if rc.inFlight > 0 {
@@ -664,19 +712,25 @@ func (rc *RingCaller) Poll(v *cpu.VCPU, out []shm.Comp) (int, error) {
 // completion was swallowed by a successful re-submission.
 func (rc *RingCaller) retryBusy(v *cpu.VCPU, ent retryEntry) (shm.Comp, bool, error) {
 	if rc.rs.dead.Load() {
-		return shm.Comp{Status: shm.CompErr}, false, nil
+		return shm.Comp{Status: shm.CompErr, Trace: ent.d.Trace}, false, nil
 	}
 	if ent.tries >= rc.cfg.Retry.MaxAttempts {
-		return shm.Comp{Status: shm.CompBusy}, false, nil
+		return shm.Comp{Status: shm.CompBusy, Trace: ent.d.Trace}, false, nil
 	}
-	v.Charge(overload.Backoff(rc.retryRNG, rc.cfg.Retry.BaseBackoff, rc.cfg.Retry.MaxBackoff, ent.tries))
+	rec := rc.h.g.mgr.rec
+	backoff := overload.Backoff(rc.retryRNG, rc.cfg.Retry.BaseBackoff, rc.cfg.Retry.MaxBackoff, ent.tries)
+	v.Charge(backoff)
+	if rec != nil {
+		rec.Causal().Event(obs.RingEvent{Trace: ent.d.Trace, Kind: obs.EvBackoff, Time: v.Clock().Now(),
+			Guest: rc.h.g.vm.Name(), Object: rc.h.objName, Fn: ent.d.Fn, Dur: backoff})
+	}
 	ok, err := rc.ring.PushDesc(ent.d)
 	if err != nil {
 		return shm.Comp{}, false, err
 	}
 	if !ok {
 		// Still full even after backing off: give the caller the bounce.
-		return shm.Comp{Status: shm.CompBusy}, false, nil
+		return shm.Comp{Status: shm.CompBusy, Trace: ent.d.Trace}, false, nil
 	}
 	if rc.pending == 0 {
 		if err := rc.ring.Kick(); err != nil {
@@ -688,6 +742,11 @@ func (rc *RingCaller) retryBusy(v *cpu.VCPU, ent retryEntry) (shm.Comp, bool, er
 	ent.tries++
 	rc.retryQ = append(rc.retryQ, ent)
 	rc.rs.retried.Add(1)
+	if rec != nil {
+		rec.Causal().Event(obs.RingEvent{Trace: ent.d.Trace, Kind: obs.EvRetry, Time: v.Clock().Now(),
+			Guest: rc.h.g.vm.Name(), Object: rc.h.objName, Fn: ent.d.Fn,
+			Note: fmt.Sprintf("attempt %d/%d", ent.tries, rc.cfg.Retry.MaxAttempts)})
+	}
 	return shm.Comp{}, true, nil
 }
 
@@ -818,7 +877,7 @@ func (m *Manager) DrainRings(budget int) (int, error) {
 		for i := 0; i < len(groups); i++ {
 			g := groups[(start+i)%len(groups)]
 			for _, t := range g.targets {
-				if err := m.trimRing(t.rs); err != nil {
+				if err := m.trimRing(t.a, t.rs); err != nil {
 					return total, err
 				}
 			}
@@ -831,7 +890,7 @@ func (m *Manager) DrainRings(budget int) (int, error) {
 // CompBusy, down to the armed BusyFrac occupancy. Host-side manager code
 // under pollMu: the completion writes charge the manager clock; the
 // bounced work never runs.
-func (m *Manager) trimRing(rs *ringState) error {
+func (m *Manager) trimRing(a *Attachment, rs *ringState) error {
 	allowed := int(m.ov.BusyFrac * float64(rs.depth))
 	rs.drainMu.Lock()
 	defer rs.drainMu.Unlock()
@@ -845,17 +904,21 @@ func (m *Manager) trimRing(rs *ringState) error {
 	}
 	n := 0
 	for txn.Pending() > allowed && txn.CQFree() > 0 {
-		_, ok, err := txn.PopDesc()
+		d, ok, err := txn.PopDesc()
 		if err != nil {
 			return err
 		}
 		if !ok {
 			break
 		}
-		if ok, err := txn.PushComp(shm.Comp{Status: shm.CompBusy}); err != nil {
+		if ok, err := txn.PushComp(shm.Comp{Status: shm.CompBusy, Trace: d.Trace}); err != nil {
 			return err
 		} else if !ok {
 			break
+		}
+		if m.rec != nil {
+			m.rec.Causal().Event(obs.RingEvent{Trace: d.Trace, Kind: obs.EvBusy, Time: clk.Now(),
+				Guest: a.guest.Name(), Object: a.obj.name, Fn: d.Fn, Note: "overload-trim"})
 		}
 		n++
 	}
@@ -899,28 +962,53 @@ func (m *Manager) drainRing(a *Attachment, rs *ringState, limit int) (int, error
 		return 0, err
 	}
 	n := 0
-	for limit < 0 || n < limit {
-		if txn.CQFree() <= 0 {
-			break // completion backpressure: wait for the guest to poll
+	drainBody := func() error {
+		for limit < 0 || n < limit {
+			if txn.CQFree() <= 0 {
+				break // completion backpressure: wait for the guest to poll
+			}
+			d, ok, err := txn.PopDesc()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			if m.rec != nil {
+				m.rec.Causal().Event(obs.RingEvent{Trace: d.Trace, Kind: obs.EvDrain, Time: clk.Now(),
+					Guest: a.guest.Name(), Object: a.obj.name, Fn: d.Fn, Note: "poller"})
+			}
+			ret, ferr := m.invokeHost(a, rs, d.Fn, d.Args)
+			comp := shm.Comp{Ret: ret, Status: shm.CompOK, Trace: d.Trace}
+			if ferr != nil {
+				comp.Status = shm.CompErr
+			}
+			if ok, err := txn.PushComp(comp); err != nil {
+				return err
+			} else if !ok {
+				return fmt.Errorf("core: ring %q/%q completion queue overflow", a.guest.Name(), a.obj.name)
+			}
+			if m.rec != nil {
+				note := ""
+				if ferr != nil {
+					note = "err"
+				}
+				m.rec.Causal().Event(obs.RingEvent{Trace: d.Trace, Kind: obs.EvComplete, Time: clk.Now(),
+					Guest: a.guest.Name(), Object: a.obj.name, Fn: d.Fn, Note: note})
+			}
+			n++
 		}
-		d, ok, err := txn.PopDesc()
-		if err != nil {
-			return n, err
-		}
-		if !ok {
-			break
-		}
-		ret, ferr := m.invokeHost(a, rs, d.Fn, d.Args)
-		comp := shm.Comp{Ret: ret, Status: shm.CompOK}
-		if ferr != nil {
-			comp.Status = shm.CompErr
-		}
-		if ok, err := txn.PushComp(comp); err != nil {
-			return n, err
-		} else if !ok {
-			return n, fmt.Errorf("core: ring %q/%q completion queue overflow", a.guest.Name(), a.obj.name)
-		}
-		n++
+		return nil
+	}
+	var bodyErr error
+	if m.rec != nil {
+		// Batch-granularity pprof label, matching the gate-flush side.
+		obs.WithPhase(obs.RingPhaseService.String(), func() { bodyErr = drainBody() })
+	} else {
+		bodyErr = drainBody()
+	}
+	if bodyErr != nil {
+		return n, bodyErr
 	}
 	if err := txn.Close(); err != nil {
 		return n, err
@@ -986,12 +1074,17 @@ func (m *Manager) failRing(a *Attachment, rs *ringState) {
 		return
 	}
 	for txn.CQFree() > 0 {
-		_, ok, err := txn.PopDesc()
+		d, ok, err := txn.PopDesc()
 		if err != nil || !ok {
 			break
 		}
-		if ok, err := txn.PushComp(shm.Comp{Status: shm.CompErr}); err != nil || !ok {
+		if ok, err := txn.PushComp(shm.Comp{Status: shm.CompErr, Trace: d.Trace}); err != nil || !ok {
 			break
+		}
+		if m.rec != nil {
+			m.rec.Causal().Event(obs.RingEvent{Trace: d.Trace, Kind: obs.EvFail,
+				Time: m.vm.VCPU().Clock().Now(), Guest: a.guest.Name(), Object: a.obj.name,
+				Fn: d.Fn, Note: "ring-failed"})
 		}
 		rs.failed.Add(1)
 	}

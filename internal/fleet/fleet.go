@@ -21,6 +21,7 @@ import (
 	"github.com/elisa-go/elisa/internal/des"
 	"github.com/elisa-go/elisa/internal/fault"
 	"github.com/elisa-go/elisa/internal/hv"
+	"github.com/elisa-go/elisa/internal/obs"
 	"github.com/elisa-go/elisa/internal/overload"
 	"github.com/elisa-go/elisa/internal/shm"
 	"github.com/elisa-go/elisa/internal/simtime"
@@ -223,9 +224,24 @@ type Scheduler struct {
 	inj *fault.Injector // armed from cfg.Faults (nil = chaos off)
 
 	// shedder is the fleet-wide load-shed controller (nil = shedding
-	// off); shedByClass counts its refusals per priority class.
+	// off); shedByClass counts its refusals per priority class, and
+	// shedThresh is the threshold class the shedder's OnShed hook
+	// reported for the latest refusal (the arrival path is sim-event
+	// serial, so the causal event emitted right after Admit reads it
+	// race-free).
 	shedder     *overload.Shedder
 	shedByClass [MaxTenantClasses]uint64
+	shedThresh  int
+}
+
+// causalEvent links one pre-submission overload refusal into the causal
+// log, when a flight recorder is armed. The trace ID is 0: the refused
+// request never became a ring descriptor, so the event is the whole
+// chain.
+func (s *Scheduler) causalEvent(now simtime.Time, tenant string, kind obs.EventKind, note string) {
+	if rec := s.mgr.Recorder(); rec != nil {
+		rec.Causal().Event(obs.RingEvent{Kind: kind, Time: now, Guest: tenant, Note: note})
+	}
 }
 
 // New builds an empty fleet over an existing machine.
@@ -270,6 +286,7 @@ func New(h *hv.Hypervisor, mgr *core.Manager, cfg Config) (*Scheduler, error) {
 	if cfg.Classes > 0 {
 		s.shedder = overload.NewShedder(overload.ShedConfig{
 			Low: cfg.ShedLow, High: cfg.ShedHigh, After: cfg.ShedAfter, Classes: cfg.Classes,
+			OnShed: func(now simtime.Time, class, thresh int) { s.shedThresh = thresh },
 		})
 	}
 	if cfg.Overload.Enabled {
@@ -342,6 +359,10 @@ func (s *Scheduler) Admit(spec TenantSpec) (*Tenant, error) {
 			Threshold: s.cfg.BreakerThreshold,
 			Window:    s.cfg.BreakerWindow,
 			Cooldown:  s.cfg.BreakerCooldown,
+			OnTrip: func(now simtime.Time, cooldown simtime.Duration, trips uint64) {
+				s.causalEvent(now, spec.Name, obs.EvBreaker,
+					fmt.Sprintf("tripped %d, cooldown %s", trips, cooldown))
+			},
 		})
 	}
 	ringRetry := s.cfg.RingRetry
@@ -517,11 +538,15 @@ func (s *Scheduler) Run(d simtime.Duration) (*Report, error) {
 			switch {
 			case t.bucket != nil && !t.bucket.Allow(now):
 				t.throttled++
+				s.causalEvent(now, t.spec.Name, obs.EvThrottle, "token-bucket")
 			case t.quarantined:
 				t.breakerShed++
+				s.causalEvent(now, t.spec.Name, obs.EvBreaker, "quarantined")
 			case s.shedder != nil && !s.shedder.Admit(now, s.occupancyLocked(), int(t.spec.Class)):
 				t.shed++
 				s.shedByClass[t.spec.Class]++
+				s.causalEvent(now, t.spec.Name, obs.EvShed,
+					fmt.Sprintf("class %d below threshold %d", t.spec.Class, s.shedThresh))
 			case len(t.queue) >= s.cfg.QueueDepth:
 				t.dropped++
 			default:

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// The exposition format escapes exactly backslash, double quote, and
+// line feed in label values — each once. An earlier labelString wrote
+// the pre-escaped value through %q, double-escaping backslashes and
+// newlines and applying Go (not Prometheus) quote rules.
+func TestEscapeLabelExpositionFormat(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`plain`, `plain`},
+		{`back\slash`, `back\\slash`},
+		{`qu"ote`, `qu\"ote`},
+		{"new\nline", `new\nline`},
+		{`a\"b` + "\n", `a\\\"b\n`},
+		{`\\`, `\\\\`},
+		{"", ""},
+		{"tab\tstays", "tab\tstays"}, // only the three specials are escaped
+	}
+	for _, c := range cases {
+		if got := escapeLabel(c.in); got != c.want {
+			t.Errorf("escapeLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLabelStringNoDoubleEscape(t *testing.T) {
+	got := labelString(map[string]string{"guest": `ten\ant`, "object": "k\nv", "fn": `sa"y`})
+	want := `{fn="sa\"y",guest="ten\\ant",object="k\nv"}`
+	if got != want {
+		t.Fatalf("labelString = %s, want %s", got, want)
+	}
+}
+
+func TestEscapeHelp(t *testing.T) {
+	if got := escapeHelp("line\nbreak \\ and \"quote\""); got != `line\nbreak \\ and "quote"` {
+		t.Fatalf("escapeHelp = %q", got)
+	}
+}
+
+// End-to-end: a registry carrying hostile label values and help text
+// renders exposition-conformant output.
+func TestPrometheusRenderEscapes(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(func() []Metric {
+		return []Metric{{
+			Name: "elisa_test_total",
+			Help: "first line\nsecond \\ line",
+			Type: TypeCounter,
+			Samples: []Sample{
+				{Labels: map[string]string{"guest": "a\\b\"c\nd"}, Value: 1},
+			},
+		}}
+	})
+	out := reg.Prometheus()
+	wantHelp := `# HELP elisa_test_total first line\nsecond \\ line`
+	wantSample := `elisa_test_total{guest="a\\b\"c\nd"} 1`
+	if !strings.Contains(out, wantHelp) {
+		t.Errorf("missing escaped help line in:\n%s", out)
+	}
+	if !strings.Contains(out, wantSample) {
+		t.Errorf("missing escaped sample line in:\n%s", out)
+	}
+	// The rendered output must stay line-structured: one HELP, one TYPE,
+	// one sample — a raw newline in a value would add a fourth line.
+	if n := len(strings.Split(strings.TrimRight(out, "\n"), "\n")); n != 3 {
+		t.Errorf("rendered %d lines, want 3:\n%s", n, out)
+	}
+}

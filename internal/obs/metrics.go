@@ -93,7 +93,7 @@ func (r *Registry) Prometheus() string {
 	var b strings.Builder
 	for _, m := range r.Gather() {
 		if m.Help != "" {
-			fmt.Fprintf(&b, "# HELP %s %s\n", m.Name, m.Help)
+			fmt.Fprintf(&b, "# HELP %s %s\n", m.Name, escapeHelp(m.Help))
 		}
 		fmt.Fprintf(&b, "# TYPE %s %s\n", m.Name, m.Type)
 		for _, s := range m.Samples {
@@ -132,13 +132,31 @@ func labelString(labels map[string]string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", k, escapeLabel(labels[k]))
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
 	return b.String()
 }
 
+// escapeLabel escapes a label value per the Prometheus text exposition
+// format: backslash, double quote, and line feed, in that order (the
+// backslash pass must run first or it would re-escape the others). The
+// escaped value is written inside plain quotes — formatting it with %q
+// on top, as an earlier version did, double-escaped every backslash and
+// newline and left quotes to Go's (incompatible) quoting rules.
 func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// escapeHelp escapes HELP text per the exposition format: only
+// backslash and line feed (quotes are legal in HELP text unescaped).
+func escapeHelp(v string) string {
 	v = strings.ReplaceAll(v, `\`, `\\`)
 	v = strings.ReplaceAll(v, "\n", `\n`)
 	return v

@@ -25,6 +25,11 @@ type Config struct {
 	// SampleEvery keeps 1 of every N spans in the ring (<=0 picks
 	// DefaultSampleEvery; 1 records every span).
 	SampleEvery int
+	// CausalEvents is the causal-event ring capacity (<=0 picks
+	// DefaultCausalEvents). Unlike spans, causal events are never
+	// sampled — the chain would be useless with holes — only evicted
+	// oldest-first once the ring is full.
+	CausalEvents int
 }
 
 // Key identifies one latency series: a (guest, object, function) triple.
@@ -52,6 +57,7 @@ type Recorder struct {
 	sampled     uint64 // spans placed in the ring
 	hists       map[Key]*stats.Histogram
 	ringBatches map[RingKey]*stats.Histogram
+	causal      *CausalLog
 }
 
 // RingKey identifies one ring-batch series: the (guest, object)
@@ -74,7 +80,18 @@ func NewRecorder(cfg Config) *Recorder {
 		ring:        make([]Span, 0, cfg.SpanRing),
 		hists:       make(map[Key]*stats.Histogram),
 		ringBatches: make(map[RingKey]*stats.Histogram),
+		causal:      NewCausalLog(cfg.CausalEvents),
 	}
+}
+
+// Causal returns the recorder's causal-event log. A nil recorder
+// returns a nil log, which itself discards everything, so call sites
+// can chain r.Causal().Event(...) unconditionally.
+func (r *Recorder) Causal() *CausalLog {
+	if r == nil {
+		return nil
+	}
+	return r.causal
 }
 
 // RecordRingBatch adds one batch-size observation for an attachment's
@@ -292,4 +309,5 @@ func (r *Recorder) Reset() {
 	r.seen, r.sampled = 0, 0
 	clear(r.hists)
 	clear(r.ringBatches)
+	r.causal.Reset()
 }

@@ -71,6 +71,11 @@ type ShedConfig struct {
 	// Classes is the number of priority classes (default 1). The top
 	// class, Classes-1, is never shed.
 	Classes int
+	// OnShed, when non-nil, observes every refusal (the arrival's class
+	// and the shed-threshold class in force), so callers can link shed
+	// decisions into a causal event log. Observation must not mutate
+	// shedder state.
+	OnShed func(now simtime.Time, class, thresh int)
 }
 
 // Shedder is the watermark load-shed controller: fed the fleet's queue
@@ -124,6 +129,9 @@ func (s *Shedder) Admit(now simtime.Time, occupancy float64, class int) bool {
 	}
 	if class < thresh {
 		s.shed++
+		if s.cfg.OnShed != nil {
+			s.cfg.OnShed(now, class, thresh)
+		}
 		return false
 	}
 	return true
@@ -167,6 +175,11 @@ type BreakerConfig struct {
 	// re-trip doubles it, up to MaxCooldown (defaults 100µs and 16x).
 	Cooldown    simtime.Duration
 	MaxCooldown simtime.Duration
+	// OnTrip, when non-nil, observes every trip (with the cooldown now
+	// in force and the lifetime trip count), so callers can link
+	// quarantine decisions into a causal event log. Observation must not
+	// mutate breaker state.
+	OnTrip func(now simtime.Time, cooldown simtime.Duration, trips uint64)
 }
 
 // Breaker is a per-tenant circuit breaker over fault/recovery events: a
@@ -241,6 +254,9 @@ func (b *Breaker) trip(now simtime.Time) {
 	b.state = BreakerOpen
 	b.openedAt = now
 	b.recent = b.recent[:0]
+	if b.cfg.OnTrip != nil {
+		b.cfg.OnTrip(now, b.cool, b.trips)
+	}
 }
 
 // RecordSuccess feeds one quiet probe: a HalfOpen breaker closes. It is

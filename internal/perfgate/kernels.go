@@ -1,0 +1,334 @@
+package perfgate
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/elisa-go/elisa/internal/core"
+	"github.com/elisa-go/elisa/internal/fleet"
+	"github.com/elisa-go/elisa/internal/hv"
+	"github.com/elisa-go/elisa/internal/mem"
+	"github.com/elisa-go/elisa/internal/shm"
+	"github.com/elisa-go/elisa/internal/simtime"
+)
+
+// Kernel is one bench kernel: a deterministic simulated workload whose
+// op count and simulated elapsed time reproduce bit-for-bit run to run.
+// Measure wraps Run with the host-side wall-clock and allocation
+// counters.
+type Kernel struct {
+	// ID is the stable identifier Diff matches results by.
+	ID string
+	// Title is the human-readable description.
+	Title string
+	// Run executes the kernel at quick (CI) or full scale and returns
+	// the operation count and the simulated time those ops consumed.
+	Run func(quick bool) (ops int64, elapsed simtime.Duration, err error)
+}
+
+// Manager function IDs the kernels register on their private fixtures.
+const (
+	kfnNop  uint64 = 0xBE9C0010
+	kfnEcho uint64 = 0xBE9C0011
+)
+
+// kernelFixture is the one-guest ELISA machine the micro kernels run on.
+type kernelFixture struct {
+	hv  *hv.Hypervisor
+	mgr *core.Manager
+	vm  *hv.VM
+	h   *core.Handle
+}
+
+func newKernelFixture() (*kernelFixture, error) {
+	h, err := hv.New(hv.Config{PhysBytes: 64 * 1024 * 1024})
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := core.NewManager(h, core.ManagerConfig{})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := mgr.CreateObject("perf", mem.PageSize); err != nil {
+		return nil, err
+	}
+	if err := mgr.RegisterFunc(kfnNop, func(*core.CallContext) (uint64, error) { return 0, nil }); err != nil {
+		return nil, err
+	}
+	if err := mgr.RegisterFunc(kfnEcho, func(c *core.CallContext) (uint64, error) {
+		var b [64]byte
+		if err := c.ReadExchange(0, b[:]); err != nil {
+			return 0, err
+		}
+		return uint64(b[0]), nil
+	}); err != nil {
+		return nil, err
+	}
+	vm, err := h.CreateVM("perf-guest", 16*mem.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	g, err := core.NewGuest(vm, mgr)
+	if err != nil {
+		return nil, err
+	}
+	handle, err := g.Attach("perf")
+	if err != nil {
+		return nil, err
+	}
+	return &kernelFixture{hv: h, mgr: mgr, vm: vm, h: handle}, nil
+}
+
+func scale(quick bool, full, q int) int {
+	if quick {
+		return q
+	}
+	return full
+}
+
+// runCallRTT measures the steady-state per-call ELISA gate round trip.
+func runCallRTT(quick bool) (int64, simtime.Duration, error) {
+	f, err := newKernelFixture()
+	if err != nil {
+		return 0, 0, err
+	}
+	v := f.vm.VCPU()
+	if _, err := f.h.Call(v, kfnNop); err != nil { // warm the slot
+		return 0, 0, err
+	}
+	ops := scale(quick, 10000, 500)
+	start := v.Clock().Now()
+	for i := 0; i < ops; i++ {
+		if _, err := f.h.Call(v, kfnNop); err != nil {
+			return 0, 0, err
+		}
+	}
+	return int64(ops), v.Clock().Elapsed(start), nil
+}
+
+// runVMCallRTT measures the empty hypercall — the exit-ful baseline the
+// paper compares ELISA against.
+func runVMCallRTT(quick bool) (int64, simtime.Duration, error) {
+	f, err := newKernelFixture()
+	if err != nil {
+		return 0, 0, err
+	}
+	const hcNop = 0xBE9C0012
+	if err := f.hv.RegisterHypercall(hcNop, func(*hv.VM, [4]uint64) (uint64, error) { return 0, nil }); err != nil {
+		return 0, 0, err
+	}
+	v := f.vm.VCPU()
+	ops := scale(quick, 10000, 500)
+	start := v.Clock().Now()
+	for i := 0; i < ops; i++ {
+		if _, err := v.VMCall(hcNop); err != nil {
+			return 0, 0, err
+		}
+	}
+	return int64(ops), v.Clock().Elapsed(start), nil
+}
+
+// runRingFlush measures the batched ring datapath: descriptors amortise
+// one gate crossing per 32-op batch through explicit flushes.
+func runRingFlush(quick bool) (int64, simtime.Duration, error) {
+	f, err := newKernelFixture()
+	if err != nil {
+		return 0, 0, err
+	}
+	v := f.vm.VCPU()
+	rc, err := f.h.Ring(v, core.RingConfig{Depth: 64, Deadline: simtime.Duration(1) << 40})
+	if err != nil {
+		return 0, 0, err
+	}
+	const batch = 32
+	batches := scale(quick, 256, 16)
+	comps := make([]shm.Comp, batch)
+	start := v.Clock().Now()
+	for b := 0; b < batches; b++ {
+		for i := 0; i < batch; i++ {
+			if err := rc.Submit(v, kfnNop, uint64(i)); err != nil {
+				return 0, 0, err
+			}
+		}
+		if err := rc.Flush(v); err != nil {
+			return 0, 0, err
+		}
+		for rc.Pending() > 0 {
+			if _, err := rc.Poll(v, comps); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	return int64(batch * batches), v.Clock().Elapsed(start), nil
+}
+
+// runRingPoller measures the fully exit-less datapath: the guest only
+// submits; the manager-side poller drains every batch.
+func runRingPoller(quick bool) (int64, simtime.Duration, error) {
+	f, err := newKernelFixture()
+	if err != nil {
+		return 0, 0, err
+	}
+	v := f.vm.VCPU()
+	rc, err := f.h.Ring(v, core.RingConfig{Depth: 64, Deadline: simtime.Duration(1) << 40})
+	if err != nil {
+		return 0, 0, err
+	}
+	const batch = 32
+	batches := scale(quick, 256, 16)
+	comps := make([]shm.Comp, batch)
+	start := v.Clock().Now()
+	for b := 0; b < batches; b++ {
+		for i := 0; i < batch; i++ {
+			if err := rc.Submit(v, kfnNop, uint64(i)); err != nil {
+				return 0, 0, err
+			}
+		}
+		for rc.Pending() > 0 {
+			if _, err := f.mgr.DrainRings(batch); err != nil {
+				return 0, 0, err
+			}
+			if _, err := rc.Poll(v, comps); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	return int64(batch * batches), v.Clock().Elapsed(start), nil
+}
+
+// runExchangePut measures an exchange-buffer put plus the call that
+// consumes it — the isolated data-passing path.
+func runExchangePut(quick bool) (int64, simtime.Duration, error) {
+	f, err := newKernelFixture()
+	if err != nil {
+		return 0, 0, err
+	}
+	v := f.vm.VCPU()
+	var payload [64]byte
+	payload[0] = 1
+	ops := scale(quick, 5000, 250)
+	start := v.Clock().Now()
+	for i := 0; i < ops; i++ {
+		if err := f.h.ExchangeWrite(v, 0, payload[:]); err != nil {
+			return 0, 0, err
+		}
+		if ret, err := f.h.Call(v, kfnEcho); err != nil {
+			return 0, 0, err
+		} else if ret != 1 {
+			return 0, 0, fmt.Errorf("perfgate: exchange echo returned %d", ret)
+		}
+	}
+	return int64(ops), v.Clock().Elapsed(start), nil
+}
+
+// runFleetMix measures the multi-tenant scheduler end to end: four
+// tenants on two cores over the exit-less ring datapath with the
+// manager poller interleaved. Ops are completed operations; elapsed is
+// the fixed run horizon.
+func runFleetMix(quick bool) (int64, simtime.Duration, error) {
+	h, err := hv.New(hv.Config{PhysBytes: 256 * 1024 * 1024})
+	if err != nil {
+		return 0, 0, err
+	}
+	mgr, err := core.NewManager(h, core.ManagerConfig{})
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := mgr.RegisterFunc(kfnNop, func(*core.CallContext) (uint64, error) { return 0, nil }); err != nil {
+		return 0, 0, err
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := mgr.CreateObject(fmt.Sprintf("mix-%d", i), mem.PageSize); err != nil {
+			return 0, 0, err
+		}
+	}
+	s, err := fleet.New(h, mgr, fleet.Config{
+		Cores: 2, Seed: 42, QueueDepth: 64,
+		RingDepth: 64, PollBudget: 64,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	for i := 0; i < 4; i++ {
+		spec := fleet.TenantSpec{
+			Name:    fmt.Sprintf("mix%d", i),
+			Weight:  1 + i%2,
+			Objects: []string{fmt.Sprintf("mix-%d", i)},
+			Fn:      kfnNop,
+			RateOPS: 2_000_000,
+		}
+		if _, err := s.Admit(spec); err != nil {
+			return 0, 0, err
+		}
+	}
+	horizon := simtime.Duration(scale(quick, 2_000_000, 300_000)) // 2ms / 300µs
+	rep, err := s.Run(horizon)
+	if err != nil {
+		return 0, 0, err
+	}
+	var done int64
+	for _, tr := range rep.Tenants {
+		done += int64(tr.Completed)
+	}
+	if done == 0 {
+		return 0, 0, fmt.Errorf("perfgate: fleet_mix completed nothing")
+	}
+	return done, rep.Duration, nil
+}
+
+// Kernels returns the bench-kernel registry in snapshot order.
+func Kernels() []Kernel {
+	return []Kernel{
+		{ID: "call_rtt", Title: "ELISA gate call round trip (per-op path)", Run: runCallRTT},
+		{ID: "vmcall_rtt", Title: "VMCALL hypercall round trip (exit-ful baseline)", Run: runVMCallRTT},
+		{ID: "ring_flush", Title: "call ring, guest-flushed 32-op batches", Run: runRingFlush},
+		{ID: "ring_poller", Title: "call ring, manager-poller drained (exit-less)", Run: runRingPoller},
+		{ID: "exchange_put", Title: "exchange-buffer put + consuming call", Run: runExchangePut},
+		{ID: "fleet_mix", Title: "4-tenant fleet on 2 cores over rings", Run: runFleetMix},
+	}
+}
+
+// Measure runs one kernel and derives its KernelResult: the simulated
+// figures come from the kernel's deterministic clock; wall time and
+// allocations come from one instrumented host run (testing.B-style
+// Mallocs-delta accounting around a single pass, which is exact for
+// fixed-op kernels and keeps CI time bounded).
+func Measure(k Kernel, quick bool) (KernelResult, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	wallStart := time.Now()
+	ops, elapsed, err := k.Run(quick)
+	wall := time.Since(wallStart)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return KernelResult{}, fmt.Errorf("perfgate: kernel %s: %w", k.ID, err)
+	}
+	if ops <= 0 || elapsed <= 0 {
+		return KernelResult{}, fmt.Errorf("perfgate: kernel %s: degenerate run (ops=%d, elapsed=%d)", k.ID, ops, elapsed)
+	}
+	simSecs := float64(elapsed) / 1e9
+	return KernelResult{
+		ID:              k.ID,
+		Title:           k.Title,
+		SimOps:          ops,
+		SimElapsedNS:    int64(elapsed),
+		SimOpsPerSec:    float64(ops) / simSecs,
+		WallNsPerSimSec: float64(wall.Nanoseconds()) / simSecs,
+		AllocsPerOp:     float64(after.Mallocs-before.Mallocs) / float64(ops),
+	}, nil
+}
+
+// MeasureAll runs every registered kernel and assembles a snapshot.
+func MeasureAll(quick bool) (*Bench, error) {
+	b := &Bench{Schema: SchemaVersion, Quick: quick}
+	for _, k := range Kernels() {
+		r, err := Measure(k, quick)
+		if err != nil {
+			return nil, err
+		}
+		b.Kernels = append(b.Kernels, r)
+	}
+	return b, nil
+}

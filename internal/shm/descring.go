@@ -21,8 +21,8 @@ import (
 //	24: cqTail   (completion producer cursor)
 //	32: slot count (power of two; SQ and CQ have the same capacity)
 //	40: kicks    (doorbell counter: producer-side flush notifications)
-//	48:            slots * 40 B submission descriptors {fn, args[4]}
-//	48+slots*40:   slots * 16 B completions {ret, status}
+//	48:            slots * 48 B submission descriptors {fn, args[4], trace}
+//	48+slots*48:   slots * 24 B completions {ret, status, trace}
 //
 // Like every shm structure it operates through a Window, so the same ring
 // is driven by a guest vCPU on one side (charging its clock, subject to
@@ -63,6 +63,11 @@ type Desc struct {
 	Fn uint64
 	// Args are the register arguments (RDI, RSI, RDX, RCX).
 	Args [4]uint64
+	// Trace is the causal trace ID stamped at Submit (0 = untraced). It
+	// rides the descriptor through every drain side and is echoed into the
+	// completion, so the flight recorder can link submit, drain, complete,
+	// and poll events of one operation across batching and retries.
+	Trace uint64
 }
 
 // Comp is one completed operation, in submission order.
@@ -71,6 +76,10 @@ type Comp struct {
 	Ret uint64
 	// Status is CompOK, CompErr, or CompBusy.
 	Status uint64
+	// Trace echoes the descriptor's causal trace ID (0 = untraced), so the
+	// guest's poller can attribute the completion to the submit that caused
+	// it even after busy bounce-backs reorder the retry queue.
+	Trace uint64
 }
 
 // Completion status codes.
@@ -91,8 +100,8 @@ const (
 // Byte sizes of the on-ring records and header.
 const (
 	callRingHdr = 48
-	descBytes   = 40 // fn + 4 args
-	compBytes   = 16 // ret + status
+	descBytes   = 48 // fn + 4 args + trace
+	compBytes   = 24 // ret + status + trace
 )
 
 // Header field offsets.
@@ -255,6 +264,7 @@ func (r *CallRing) PushDesc(d Desc) (bool, error) {
 	for i, a := range d.Args {
 		binary.LittleEndian.PutUint64(buf[8+8*i:], a)
 	}
+	binary.LittleEndian.PutUint64(buf[40:], d.Trace)
 	if err := r.w.Write(r.descOff(r.ownSQTail), buf[:]); err != nil {
 		return false, err
 	}
@@ -285,6 +295,7 @@ func (r *CallRing) PopDesc() (Desc, bool, error) {
 	for i := range d.Args {
 		d.Args[i] = binary.LittleEndian.Uint64(buf[8+8*i:])
 	}
+	d.Trace = binary.LittleEndian.Uint64(buf[40:])
 	return d, true, r.w.WriteU64(offSQHead, head+1)
 }
 
@@ -302,6 +313,7 @@ func (r *CallRing) PushComp(c Comp) (bool, error) {
 	var buf [compBytes]byte
 	binary.LittleEndian.PutUint64(buf[0:], c.Ret)
 	binary.LittleEndian.PutUint64(buf[8:], c.Status)
+	binary.LittleEndian.PutUint64(buf[16:], c.Trace)
 	if err := r.w.Write(r.compOff(tail), buf[:]); err != nil {
 		return false, err
 	}
@@ -329,6 +341,7 @@ func (r *CallRing) PopComp() (Comp, bool, error) {
 	}
 	c.Ret = binary.LittleEndian.Uint64(buf[0:])
 	c.Status = binary.LittleEndian.Uint64(buf[8:])
+	c.Trace = binary.LittleEndian.Uint64(buf[16:])
 	if err := r.w.WriteU64(offCQHead, r.ownCQHead+1); err != nil {
 		return c, false, err
 	}
@@ -406,6 +419,7 @@ func (t *DrainTxn) PopDesc() (Desc, bool, error) {
 	for i := range d.Args {
 		d.Args[i] = binary.LittleEndian.Uint64(buf[8+8*i:])
 	}
+	d.Trace = binary.LittleEndian.Uint64(buf[40:])
 	t.sqHead++
 	t.popped++
 	return d, true, nil
@@ -420,6 +434,7 @@ func (t *DrainTxn) PushComp(c Comp) (bool, error) {
 	var buf [compBytes]byte
 	binary.LittleEndian.PutUint64(buf[0:], c.Ret)
 	binary.LittleEndian.PutUint64(buf[8:], c.Status)
+	binary.LittleEndian.PutUint64(buf[16:], c.Trace)
 	if err := t.r.w.Write(t.r.compOff(t.cqTail), buf[:]); err != nil {
 		return false, err
 	}

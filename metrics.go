@@ -24,6 +24,7 @@ func newMetricsRegistry(h *hv.Hypervisor, mgr *core.Manager, rec *obs.Recorder) 
 	reg.Register(collectOverload(mgr))
 	reg.Register(collectFaults(h, mgr))
 	reg.Register(obs.CollectRecorder(rec))
+	reg.Register(obs.CollectCausal(rec.Causal()))
 	return reg
 }
 
