@@ -57,6 +57,7 @@ func main() {
 	ringDeadlineUs := flag.Int("ring-deadline", 5, "ring batching deadline in simulated microseconds (with -ring)")
 	pollBudget := flag.Int("poll-budget", 64, "descriptors the manager poller services per frame (with -ring; 0 = poller off, rings drain only via guest flushes)")
 	overload := flag.Bool("overload", false, "arm overload control: saturated rings bounce CompBusy and guests retry with deterministic backoff (with -ring); the SHED/BUSY column then shows bounces/retries per frame")
+	shards := flag.Int("shards", 1, "boot a sharded cluster with N manager shards and render one row per shard (SHARD/GOODPUT/OCC/REMAP); calls route via the consistent-hash placement ring; incompatible with -ring, -overload, and -faults")
 	faults := flag.Int("faults", 0, "arm a chaos plan with N seeded fault injections (0 = chaos off); the CHAOS column then shows per-guest hits")
 	faultSeed := flag.Int64("fault-seed", 42, "seed of the chaos plan (same seed = same fault trace)")
 	ansi := flag.Bool("ansi", false, "redraw in place with ANSI escapes instead of printing frames sequentially")
@@ -70,7 +71,17 @@ func main() {
 			log.Fatal("elisa-top: -once requires -json (the one-shot mode has no table renderer)")
 		}
 		if err := runOnce(os.Stdout, *guests, *objects, *slotBudget, *interval, *sample, *skew, *readRatio,
-			*errEvery, *ringDepth, *ringDeadlineUs, *pollBudget, *overload); err != nil {
+			*errEvery, *ringDepth, *ringDeadlineUs, *pollBudget, *overload, *shards); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *shards > 1 {
+		if *ringDepth > 0 || *overload || *faults > 0 {
+			log.Fatal("elisa-top: -shards is the per-call cluster mode; -ring, -overload, and -faults are single-shard flags")
+		}
+		if err := runShards(*guests, *objects, *shards, *slotBudget, *frames, *interval, *sample, *skew, *readRatio,
+			*errEvery, *ansi, *prom, *jsonOut); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -17,7 +17,7 @@ var update = flag.Bool("update", false, "rewrite golden files")
 func TestOnceJSONGolden(t *testing.T) {
 	var buf bytes.Buffer
 	// Mirrors: -guests 2 -objects 2 -interval 1 -ring 8 -overload -poll-budget 16
-	if err := runOnce(&buf, 2, 2, 0, 1, 1, 1.1, 0.9, 64, 8, 5, 16, true); err != nil {
+	if err := runOnce(&buf, 2, 2, 0, 1, 1, 1.1, 0.9, 64, 8, 5, 16, true, 1); err != nil {
 		t.Fatal(err)
 	}
 	golden := filepath.Join("testdata", "once.golden")
@@ -35,11 +35,52 @@ func TestOnceJSONGolden(t *testing.T) {
 	}
 	// And it must be deterministic run to run, not just vs the file.
 	var again bytes.Buffer
-	if err := runOnce(&again, 2, 2, 0, 1, 1, 1.1, 0.9, 64, 8, 5, 16, true); err != nil {
+	if err := runOnce(&again, 2, 2, 0, 1, 1, 1.1, 0.9, 64, 8, 5, 16, true, 1); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
 		t.Error("same-flag one-shot snapshots differ between runs")
+	}
+}
+
+// TestClusterOnceGolden pins the schema-2 cluster snapshot: -shards 2
+// routes the same workload through the placement ring and the document
+// gains the per-shard array. Same discipline as the single-shard golden —
+// same flags, same bytes; regenerate with
+// `go test ./cmd/elisa-top -run Once -update`.
+func TestClusterOnceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	// Mirrors: -shards 2 -guests 2 -objects 4 -interval 1 -once -json
+	if err := runOnce(&buf, 2, 4, 0, 1, 1, 1.1, 0.9, 64, 0, 5, 16, false, 2); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "once_shards.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("cluster one-shot snapshot drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+	var again bytes.Buffer
+	if err := runOnce(&again, 2, 4, 0, 1, 1, 1.1, 0.9, 64, 0, 5, 16, false, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("same-flag cluster snapshots differ between runs")
+	}
+	// The ring/overload flags are single-shard mode: combining them with
+	// -shards must refuse, not silently ignore the cluster.
+	if err := runOnce(&bytes.Buffer{}, 2, 4, 0, 1, 1, 1.1, 0.9, 64, 8, 5, 16, false, 2); err == nil {
+		t.Error("runOnce accepted -ring with -shards")
+	}
+	if err := runOnce(&bytes.Buffer{}, 2, 4, 0, 1, 1, 1.1, 0.9, 64, 0, 5, 16, true, 2); err == nil {
+		t.Error("runOnce accepted -overload with -shards")
 	}
 }
 

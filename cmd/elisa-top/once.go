@@ -11,8 +11,9 @@ import (
 )
 
 // snapshotSchema versions the -once -json output so scrapers can reject
-// a format they don't read.
-const snapshotSchema = 1
+// a format they don't read. Schema 2 added shard_count and the per-shard
+// shards array (-shards > 1; empty on unsharded runs).
+const snapshotSchema = 2
 
 // tenantSnapshot is one tenant's row in the one-shot snapshot. Every
 // field is derived from the simulated machine, so same-flag runs emit
@@ -41,7 +42,9 @@ type topSnapshot struct {
 	IntervalNS int64            `json:"interval_ns"`
 	RingDepth  int              `json:"ring_depth"`
 	Overload   bool             `json:"overload"`
+	ShardCount int              `json:"shard_count"`
 	Tenants    []tenantSnapshot `json:"tenants"`
+	Shards     []shardSnapshot  `json:"shards,omitempty"`
 }
 
 // runOnce drives the elisa-top workload for exactly one simulated
@@ -49,9 +52,15 @@ type topSnapshot struct {
 // `-once -json` mode. The workload, seeds, and counters are all
 // simulated, so the output is bit-identical run to run.
 func runOnce(w io.Writer, nGuests, nObjects, slotBudget, intervalMs, sample int, skew, readRatio float64,
-	errEvery, ringDepth, ringDeadlineUs, pollBudget int, overload bool) error {
+	errEvery, ringDepth, ringDeadlineUs, pollBudget int, overload bool, shards int) error {
 	if nGuests <= 0 || nObjects <= 0 {
 		return fmt.Errorf("need at least one guest and one object")
+	}
+	if shards > 1 {
+		if ringDepth > 0 || overload {
+			return fmt.Errorf("-shards is the per-call cluster mode; -ring and -overload are single-shard flags")
+		}
+		return runOnceShards(w, nGuests, nObjects, shards, slotBudget, intervalMs, sample, skew, readRatio, errEvery)
 	}
 	sys, err := elisa.NewSystem(elisa.Config{
 		PhysBytes:  256*1024*1024 + nGuests*nObjects*64*1024,
@@ -202,7 +211,7 @@ func buildSnapshot(sys *elisa.System, tenants []*tenant, interval simtime.Durati
 		agg.retried += rs.Retried
 		ringsByGuest[rs.Guest] = agg
 	}
-	snap := &topSnapshot{Schema: snapshotSchema, IntervalNS: int64(interval), RingDepth: ringDepth, Overload: overload}
+	snap := &topSnapshot{Schema: snapshotSchema, IntervalNS: int64(interval), RingDepth: ringDepth, Overload: overload, ShardCount: 1}
 	for _, tn := range tenants {
 		name := tn.g.Name()
 		acct := byGuest[name]

@@ -32,6 +32,7 @@ package elisa
 import (
 	"fmt"
 
+	"github.com/elisa-go/elisa/internal/cluster"
 	"github.com/elisa-go/elisa/internal/core"
 	"github.com/elisa-go/elisa/internal/cpu"
 	"github.com/elisa-go/elisa/internal/ept"
@@ -150,6 +151,34 @@ type (
 	// TenantClass is a fleet tenant's load-shedding priority class
 	// (TenantSpec.Class; 0 is shed first, FleetConfig.Classes-1 never).
 	TenantClass = fleet.TenantClass
+	// Cluster is a sharded control plane: N independent manager machines
+	// behind a consistent-hash placement ring (Config.Shards,
+	// System.Cluster).
+	Cluster = cluster.Cluster
+	// ClusterShard is one manager machine of a Cluster.
+	ClusterShard = cluster.Shard
+	// ClusterGuest is a cluster tenant: one logical guest with a replica
+	// on every shard it touches (Cluster.NewGuest).
+	ClusterGuest = cluster.Guest
+	// ClusterHandle is a routed attachment — the owning shard resolved
+	// once at attach time, exit-less thereafter.
+	ClusterHandle = cluster.Handle
+	// MultiReq is one operation of a cross-shard ClusterGuest.CallMulti.
+	MultiReq = cluster.MultiReq
+	// ClusterFleet schedules fleet tenants across every shard with
+	// interleaved poll budgets (Cluster.NewFleet).
+	ClusterFleet = cluster.Fleet
+	// ClusterFleetConfig configures a ClusterFleet.
+	ClusterFleetConfig = cluster.FleetConfig
+	// ClusterStats is a cluster-wide accounting snapshot (Cluster.Stats).
+	ClusterStats = cluster.Stats
+	// ShardStats is one shard's slice of a ClusterStats.
+	ShardStats = cluster.ShardStats
+	// PlacementRing is the cluster's seeded consistent-hash object
+	// placement ring (Cluster.Ring).
+	PlacementRing = cluster.PlacementRing
+	// PlacementConfig configures a standalone PlacementRing.
+	PlacementConfig = cluster.PlacementConfig
 )
 
 // Ring completion statuses and geometry limits.
@@ -222,6 +251,14 @@ type Config struct {
 	// Attachments beyond the budget still succeed virtualised: their
 	// first call re-negotiates a physical slot over one HCSlotFault exit.
 	SlotBudget int
+	// Shards, when > 1, boots a sharded cluster instead of a single
+	// machine: Shards independent manager machines behind a seeded
+	// consistent-hash placement ring, reachable via System.Cluster. The
+	// single-machine accessors (Manager, Hypervisor, NewGuestVM, …) then
+	// address shard 0; PhysBytes is split evenly across shards (32 MiB
+	// per-shard floor). ShardSeed feeds the placement ring.
+	Shards    int
+	ShardSeed int64
 }
 
 // System is one simulated machine with ELISA installed: a hypervisor, the
@@ -231,12 +268,41 @@ type System struct {
 	mgr     *core.Manager
 	rec     *obs.Recorder
 	metrics *obs.Registry
+	cluster *cluster.Cluster // non-nil iff Config.Shards > 1
 }
 
-// NewSystem boots the machine and the ELISA manager.
+// NewSystem boots the machine and the ELISA manager — or, with
+// Config.Shards > 1, a sharded cluster of machines (System.Cluster).
 func NewSystem(cfg Config) (*System, error) {
 	if cfg.PhysBytes == 0 {
 		cfg.PhysBytes = 256 * 1024 * 1024
+	}
+	if cfg.Shards > 1 {
+		perShard := cfg.PhysBytes / cfg.Shards
+		if perShard < 32*1024*1024 {
+			perShard = 32 * 1024 * 1024
+		}
+		c, err := cluster.New(cluster.Config{
+			Shards:      cfg.Shards,
+			Seed:        cfg.ShardSeed,
+			PhysBytes:   perShard,
+			ManagerRAM:  cfg.ManagerRAM,
+			Cost:        cfg.Cost,
+			SlotBudget:  cfg.SlotBudget,
+			TraceEvents: cfg.TraceEvents,
+			Observe:     cfg.Observe,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// The single-machine accessors address shard 0, so unsharded
+		// tooling (metrics collectors, elisa-top's per-guest columns,
+		// examples) keeps working against a cluster.
+		sh0 := c.Shard(0)
+		s := &System{hv: sh0.Hypervisor(), mgr: sh0.Manager(), rec: sh0.Recorder(), cluster: c}
+		s.metrics = newMetricsRegistry(s.hv, s.mgr, s.rec)
+		s.metrics.Register(collectCluster(c))
+		return s, nil
 	}
 	h, err := hv.New(hv.Config{PhysBytes: cfg.PhysBytes, Cost: cfg.Cost, TraceEvents: cfg.TraceEvents})
 	if err != nil {
@@ -254,6 +320,10 @@ func NewSystem(cfg Config) (*System, error) {
 	s.metrics = newMetricsRegistry(h, mgr, s.rec)
 	return s, nil
 }
+
+// Cluster returns the sharded control plane, or nil when the system was
+// booted unsharded (Config.Shards <= 1).
+func (s *System) Cluster() *Cluster { return s.cluster }
 
 // Manager returns the ELISA manager runtime.
 func (s *System) Manager() *Manager { return s.mgr }

@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/elisa-go/elisa/internal/fleet"
+	"github.com/elisa-go/elisa/internal/simtime"
+)
+
+// FleetConfig configures a cluster Fleet. The embedded fleet.Config
+// applies to every shard's scheduler (same Seed, same Cores, same
+// overload knobs), so a 1-shard cluster fleet is bit-for-bit a plain
+// fleet.
+type FleetConfig struct {
+	fleet.Config
+
+	// Slice is the interleaving granularity: Run advances each shard's
+	// scheduler by one Slice of simulated time before moving to the next
+	// shard, round-robin in shard order (default 4 scheduling quanta).
+	// Shards are independent machines running concurrently in real time;
+	// slicing is how the simulation renders that concurrency
+	// deterministically. Per-shard results depend only on (Seed, that
+	// shard's tenant set, total duration) — not on Slice or shard count —
+	// which is what makes same-seed reports byte-identical at any shard
+	// count. Note fault-plan virtual times are relative to each scheduler
+	// window (a fleet.Run property), and slicing makes the window one
+	// Slice long: keep the plan's Horizon at or below Slice so every
+	// injection stays eligible to fire.
+	Slice simtime.Duration
+
+	// FaultShard names the shard Config.Faults arms on (default 0).
+	// Fault plans are per failure domain: one shard's injector, poller,
+	// and recovery sweep cannot corrupt another shard's machine.
+	FaultShard int
+}
+
+// Fleet schedules tenants across a cluster: one fleet.Scheduler per
+// shard (created lazily at first admission), with Run interleaving
+// per-shard poll budgets and quanta so the merged report is
+// deterministic.
+type Fleet struct {
+	c   *Cluster
+	cfg FleetConfig
+
+	scheds     []*fleet.Scheduler // indexed by shard; nil until a tenant lands there
+	admissions []admission        // global admission order
+	elapsed    simtime.Duration
+}
+
+// admission remembers where the i-th admitted tenant landed, so merged
+// reports list tenants in global admission order regardless of shard.
+type admission struct {
+	shard int
+	idx   int // index within the shard scheduler's own admission order
+}
+
+// NewFleet creates a cluster fleet.
+func (c *Cluster) NewFleet(cfg FleetConfig) (*Fleet, error) {
+	if cfg.FaultShard < 0 || cfg.FaultShard >= len(c.shards) {
+		return nil, fmt.Errorf("cluster: fleet FaultShard %d outside [0,%d)", cfg.FaultShard, len(c.shards))
+	}
+	if cfg.Slice <= 0 {
+		q := cfg.Quantum
+		if q <= 0 {
+			q = 10_000 // fleet.Config's default quantum
+		}
+		cfg.Slice = 4 * q
+	}
+	f := &Fleet{c: c, cfg: cfg, scheds: make([]*fleet.Scheduler, len(c.shards))}
+	c.fleets = append(c.fleets, f)
+	return f, nil
+}
+
+// schedOn returns (creating on first use) the shard's scheduler. The
+// fault plan arms only on FaultShard — every other shard gets a plain
+// scheduler.
+func (f *Fleet) schedOn(shard int) (*fleet.Scheduler, error) {
+	if s := f.scheds[shard]; s != nil {
+		return s, nil
+	}
+	cfg := f.cfg.Config
+	if shard != f.cfg.FaultShard {
+		cfg.Faults = nil
+	}
+	sh := f.c.shards[shard]
+	s, err := fleet.New(sh.hv, sh.mgr, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fleet shard %d: %w", shard, err)
+	}
+	f.scheds[shard] = s
+	return s, nil
+}
+
+// Admit places a tenant on the shard owning its objects and admits it
+// there. All of a tenant's objects must live on one shard — the per-call
+// fleet datapath is shard-local; split working sets belong to
+// Guest.CallMulti, not to a fleet tenant. Returns the owning shard.
+func (f *Fleet) Admit(spec fleet.TenantSpec) (int, error) {
+	if len(spec.Objects) == 0 {
+		return 0, fmt.Errorf("cluster: fleet tenant %q has no objects", spec.Name)
+	}
+	shard := -1
+	for _, obj := range spec.Objects {
+		owner, ok := f.c.objects[obj]
+		if !ok {
+			return 0, fmt.Errorf("cluster: fleet tenant %q: object %q not created", spec.Name, obj)
+		}
+		if shard == -1 {
+			shard = owner
+		} else if owner != shard {
+			return 0, fmt.Errorf("cluster: fleet tenant %q: objects span shards %d and %d (one shard per tenant)", spec.Name, shard, owner)
+		}
+	}
+	s, err := f.schedOn(shard)
+	if err != nil {
+		return 0, err
+	}
+	idx := len(s.Snapshot().Tenants)
+	if _, err := s.Admit(spec); err != nil {
+		return 0, err
+	}
+	f.admissions = append(f.admissions, admission{shard: shard, idx: idx})
+	return shard, nil
+}
+
+// Run advances every populated shard by d of simulated time, interleaved
+// in Slice-sized steps in ascending shard order, and returns the merged
+// report. Each shard's scheduler (cores, poller, fault pump) runs the
+// full d — shards are concurrent machines, so cluster core-seconds scale
+// with the populated-shard count while wall time stays single-threaded
+// and deterministic.
+func (f *Fleet) Run(d simtime.Duration) (*fleet.Report, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("cluster: fleet run duration %d must be positive", d)
+	}
+	if len(f.admissions) == 0 {
+		return nil, fmt.Errorf("cluster: fleet has no tenants")
+	}
+	var done simtime.Duration
+	for done < d {
+		step := f.cfg.Slice
+		if rem := d - done; rem < step {
+			step = rem
+		}
+		for _, s := range f.scheds {
+			if s == nil {
+				continue // fleet.Run errors on zero tenants; empty shards sit out
+			}
+			if _, err := s.Run(step); err != nil {
+				return nil, err
+			}
+		}
+		done += step
+	}
+	f.elapsed += d
+	return f.Snapshot(), nil
+}
+
+// Snapshot merges the per-shard reports: tenants in global admission
+// order, chaos counters and shed tallies summed, Duration equal to the
+// fleet's accumulated run time (every populated shard ran exactly that
+// long), and Cores the per-shard core count.
+func (f *Fleet) Snapshot() *fleet.Report {
+	merged := &fleet.Report{Duration: f.elapsed, Cores: f.cfg.Cores}
+	if merged.Cores <= 0 {
+		merged.Cores = 1
+	}
+	reports := make([]*fleet.Report, len(f.scheds))
+	for i, s := range f.scheds {
+		if s != nil {
+			reports[i] = s.Snapshot()
+		}
+	}
+	for _, adm := range f.admissions {
+		merged.Tenants = append(merged.Tenants, reports[adm.shard].Tenants[adm.idx])
+	}
+	for _, r := range reports {
+		if r == nil {
+			continue
+		}
+		merged.FaultsFired += r.FaultsFired
+		merged.FaultsPending += r.FaultsPending
+		merged.Recoveries += r.Recoveries
+		merged.MidGateDeaths += r.MidGateDeaths
+		merged.Repairs += r.Repairs
+		merged.Retries += r.Retries
+		merged.FaultTrace += r.FaultTrace
+		for i, n := range r.ShedByClass {
+			merged.ShedByClass[i] += n
+		}
+	}
+	return merged
+}
+
+// Scheduler exposes one shard's underlying scheduler (nil if no tenant
+// landed there).
+func (f *Fleet) Scheduler(shard int) *fleet.Scheduler { return f.scheds[shard] }

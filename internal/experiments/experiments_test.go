@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -15,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig_memcached",
 		"ablation_batch", "ablation_callmulti", "ablation_contexts", "ablation_negotiation", "ablation_tlb",
 		"ext_consolidation", "ext_fault_recovery", "ext_fleet_scaling", "ext_hugepages", "ext_memory",
-		"ext_overload", "ext_ring_batching",
+		"ext_overload", "ext_ring_batching", "ext_sharding",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -158,5 +159,35 @@ func TestRingBatchingSpeedupFloor(t *testing.T) {
 	}
 	if ratio := mpps / base; ratio < 2.0 {
 		t.Fatalf("ring depth 8 speedup = %.2fx (%.2f vs %.2f Mpps), below the 2x floor", ratio, mpps, base)
+	}
+}
+
+// TestClusterShardingScalingFloor is the sharding acceptance floor:
+// with per-shard load constant and every shard 16x slot-oversubscribed,
+// aggregate goodput at 4 shards must be at least 3x the 1-shard point,
+// and every swept point must reproduce byte-identically run over run.
+func TestClusterShardingScalingFloor(t *testing.T) {
+	window := simtime.Duration(250) * simtime.Microsecond
+	point := func(shards int) (float64, string) {
+		good, p99, imb, err := runShardingPoint(shards, window)
+		if err != nil {
+			t.Fatalf("%d shards: %v", shards, err)
+		}
+		return good, fmt.Sprintf("good=%v p99=%d imb=%v", good, p99, imb)
+	}
+	var one float64
+	for _, shards := range []int{1, 2, 4, 8, 16} {
+		good, a := point(shards)
+		if _, b := point(shards); a != b {
+			t.Fatalf("%d shards not reproducible:\n%s\n%s", shards, a, b)
+		}
+		switch shards {
+		case 1:
+			one = good
+		case 4:
+			if good < 3*one {
+				t.Fatalf("4-shard goodput %.2f Mops/s < 3x 1-shard %.2f Mops/s", good, one)
+			}
+		}
 	}
 }

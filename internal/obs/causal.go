@@ -166,6 +166,10 @@ type RingEvent struct {
 	// Note carries optional free-form detail (refusal reason, retry
 	// attempt number). Its content is deterministic.
 	Note string
+	// Shard is the manager shard that recorded the event, stamped by the
+	// log (see CausalLog.SetShard). It is -1 on unsharded systems, so a
+	// cluster's shard 0 is distinguishable from "no cluster".
+	Shard int
 }
 
 // String renders the event on one line.
@@ -173,6 +177,9 @@ func (e RingEvent) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "[%06d %12s] trace=%#016x %-8s %-12s %-12s fn=%-4d",
 		e.Seq, simtime.Duration(e.Time), e.Trace, e.Kind, e.Guest, e.Object, e.Fn)
+	if e.Shard >= 0 {
+		fmt.Fprintf(&b, " shard=%d", e.Shard)
+	}
 	if e.Dur != 0 {
 		fmt.Fprintf(&b, " dur=%s", e.Dur)
 	}
@@ -204,6 +211,7 @@ type CausalLog struct {
 	start  int
 	count  int
 	seq    uint64
+	shard  int // stamped onto every event; -1 = unsharded
 	phases [NumRingPhases]*stats.Histogram
 	open   map[uint64]*openTrace
 }
@@ -216,13 +224,27 @@ func NewCausalLog(capEvents int) *CausalLog {
 		capEvents = DefaultCausalEvents
 	}
 	l := &CausalLog{
-		ring: make([]RingEvent, 0, capEvents),
-		open: make(map[uint64]*openTrace),
+		ring:  make([]RingEvent, 0, capEvents),
+		shard: -1,
+		open:  make(map[uint64]*openTrace),
 	}
 	for i := range l.phases {
 		l.phases[i] = stats.NewHistogram()
 	}
 	return l
+}
+
+// SetShard scopes the log to one cluster shard: every event offered from
+// now on carries this shard ID (the String rendering then shows it, so a
+// merged multi-shard timeline stays attributable). A nil log ignores the
+// call; unsharded logs keep the default -1.
+func (l *CausalLog) SetShard(id int) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.shard = id
 }
 
 // Event offers one causal event. The log assigns its Seq, appends it to
@@ -235,6 +257,7 @@ func (l *CausalLog) Event(e RingEvent) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	e.Seq = l.seq
+	e.Shard = l.shard
 	l.seq++
 	l.attributeLocked(e)
 	if l.count < cap(l.ring) {

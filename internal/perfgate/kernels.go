@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"github.com/elisa-go/elisa/internal/cluster"
 	"github.com/elisa-go/elisa/internal/core"
 	"github.com/elisa-go/elisa/internal/fleet"
 	"github.com/elisa-go/elisa/internal/hv"
@@ -277,6 +278,71 @@ func runFleetMix(quick bool) (int64, simtime.Duration, error) {
 	return done, rep.Duration, nil
 }
 
+// runClusterRoute measures the sharded control plane's datapaths: routed
+// single-shard calls (resolved once at attach, exit-less thereafter —
+// same 196 ns as an unsharded call) interleaved with cross-shard
+// CallMulti fan-outs over a 4-shard cluster (one gate crossing per
+// owning shard, merged deterministically). Ops count individual manager
+// calls; elapsed is the guest's summed simulated time across replicas.
+func runClusterRoute(quick bool) (int64, simtime.Duration, error) {
+	const shards = 4
+	c, err := cluster.New(cluster.Config{Shards: shards, Seed: 7, PhysBytes: 32 * 1024 * 1024})
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := c.RegisterFunc(kfnNop, func(*core.CallContext) (uint64, error) { return 0, nil }); err != nil {
+		return 0, 0, err
+	}
+	objs := make([]string, shards)
+	for i := range objs {
+		objs[i] = fmt.Sprintf("route-%d", i)
+		if err := c.Ring().Pin(objs[i], i); err != nil {
+			return 0, 0, err
+		}
+		if _, err := c.CreateObject(objs[i], mem.PageSize); err != nil {
+			return 0, 0, err
+		}
+	}
+	g, err := c.NewGuest("route-guest", 16*mem.PageSize)
+	if err != nil {
+		return 0, 0, err
+	}
+	handles := make([]*cluster.Handle, shards)
+	for i, name := range objs {
+		h, err := g.Attach(name) // routing slow path + warm slot, outside the window
+		if err != nil {
+			return 0, 0, err
+		}
+		if _, err := h.Call(kfnNop); err != nil {
+			return 0, 0, err
+		}
+		handles[i] = h
+	}
+	singles := scale(quick, 4000, 200)
+	batches := scale(quick, 500, 25)
+	start := g.Elapsed()
+	for i := 0; i < singles; i++ {
+		if _, err := handles[i%shards].Call(kfnNop); err != nil {
+			return 0, 0, err
+		}
+	}
+	reqs := make([]cluster.MultiReq, shards)
+	for b := 0; b < batches; b++ {
+		for i := range reqs {
+			reqs[i] = cluster.MultiReq{Object: objs[i], Fn: kfnNop}
+		}
+		if err := g.CallMulti(reqs); err != nil {
+			return 0, 0, err
+		}
+		for i := range reqs {
+			if reqs[i].Err != nil {
+				return 0, 0, reqs[i].Err
+			}
+		}
+	}
+	return int64(singles + batches*shards), g.Elapsed() - start, nil
+}
+
 // Kernels returns the bench-kernel registry in snapshot order.
 func Kernels() []Kernel {
 	return []Kernel{
@@ -286,6 +352,7 @@ func Kernels() []Kernel {
 		{ID: "ring_poller", Title: "call ring, manager-poller drained (exit-less)", Run: runRingPoller},
 		{ID: "exchange_put", Title: "exchange-buffer put + consuming call", Run: runExchangePut},
 		{ID: "fleet_mix", Title: "4-tenant fleet on 2 cores over rings", Run: runFleetMix},
+		{ID: "cluster_route", Title: "routed calls + 4-shard CallMulti fan-out", Run: runClusterRoute},
 	}
 }
 

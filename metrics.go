@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/elisa-go/elisa/internal/cluster"
 	"github.com/elisa-go/elisa/internal/core"
 	"github.com/elisa-go/elisa/internal/ept"
 	"github.com/elisa-go/elisa/internal/fault"
@@ -251,6 +252,45 @@ func collectFaults(h *hv.Hypervisor, mgr *core.Manager) obs.Collector {
 				Type: obs.TypeGauge, Samples: []obs.Sample{{Value: pending}}},
 			{Name: "elisa_vms_crashed_total", Help: "VMs dead by crash (injected or organic), not protocol kills.",
 				Type: obs.TypeCounter, Samples: []obs.Sample{{Value: float64(h.MachineStats().Crashed)}}},
+		}
+	}
+}
+
+// collectCluster exports the sharded control plane: per-shard goodput,
+// slot occupancy, placed objects, call counters, and the cluster-wide
+// max/mean load imbalance ratio plus MoveObject rebalance count.
+func collectCluster(c *cluster.Cluster) obs.Collector {
+	return func() []obs.Metric {
+		goodput := obs.Metric{Name: "elisa_cluster_goodput_ops",
+			Help: "Completed fleet ops per simulated second, per shard.", Type: obs.TypeGauge}
+		occupancy := obs.Metric{Name: "elisa_cluster_occupancy_ratio",
+			Help: "Backed EPTP-list slots over budget, per shard.", Type: obs.TypeGauge}
+		objects := obs.Metric{Name: "elisa_cluster_objects",
+			Help: "Shared objects placed on each shard.", Type: obs.TypeGauge}
+		guests := obs.Metric{Name: "elisa_cluster_guests",
+			Help: "Guests holding ELISA state on each shard.", Type: obs.TypeGauge}
+		calls := obs.Metric{Name: "elisa_cluster_calls_total",
+			Help: "Exit-less manager-function calls routed to each shard.", Type: obs.TypeCounter}
+		remaps := obs.Metric{Name: "elisa_cluster_slot_remaps_total",
+			Help: "HCSlotFault slot re-binds on each shard.", Type: obs.TypeCounter}
+		st := c.Stats()
+		for _, ss := range st.Shards {
+			labels := map[string]string{"shard": fmt.Sprintf("%d", ss.ID)}
+			goodput.Samples = append(goodput.Samples, obs.Sample{Labels: labels, Value: ss.GoodputOPS})
+			occupancy.Samples = append(occupancy.Samples, obs.Sample{Labels: labels, Value: ss.Occupancy})
+			objects.Samples = append(objects.Samples, obs.Sample{Labels: labels, Value: float64(ss.Objects)})
+			guests.Samples = append(guests.Samples, obs.Sample{Labels: labels, Value: float64(ss.Guests)})
+			calls.Samples = append(calls.Samples, obs.Sample{Labels: labels, Value: float64(ss.Calls)})
+			remaps.Samples = append(remaps.Samples, obs.Sample{Labels: labels, Value: float64(ss.Remaps)})
+		}
+		return []obs.Metric{goodput, occupancy, objects, guests, calls, remaps,
+			{Name: "elisa_cluster_shards", Help: "Manager shards in the cluster.", Type: obs.TypeGauge,
+				Samples: []obs.Sample{{Value: float64(c.NumShards())}}},
+			{Name: "elisa_cluster_imbalance_ratio",
+				Help: "Max/mean per-shard load (calls when any, placed objects otherwise); 1.0 is perfectly balanced.",
+				Type: obs.TypeGauge, Samples: []obs.Sample{{Value: st.Imbalance}}},
+			{Name: "elisa_cluster_moves_total", Help: "MoveObject rebalances performed.", Type: obs.TypeCounter,
+				Samples: []obs.Sample{{Value: float64(st.Moves)}}},
 		}
 	}
 }
