@@ -5,6 +5,7 @@ import (
 
 	"github.com/elisa-go/elisa/internal/fleet"
 	"github.com/elisa-go/elisa/internal/simtime"
+	"github.com/elisa-go/elisa/internal/workload"
 )
 
 // FleetConfig configures a cluster Fleet. The embedded fleet.Config
@@ -42,9 +43,10 @@ type Fleet struct {
 	c   *Cluster
 	cfg FleetConfig
 
-	scheds     []*fleet.Scheduler // indexed by shard; nil until a tenant lands there
-	admissions []admission        // global admission order
-	elapsed    simtime.Duration
+	scheds      []*fleet.Scheduler // indexed by shard; nil until a tenant lands there
+	admissions  []admission        // global admission order
+	tenantShard map[string]int     // tenant name -> owning shard (trace replay routing)
+	elapsed     simtime.Duration
 }
 
 // admission remembers where the i-th admitted tenant landed, so merged
@@ -66,7 +68,7 @@ func (c *Cluster) NewFleet(cfg FleetConfig) (*Fleet, error) {
 		}
 		cfg.Slice = 4 * q
 	}
-	f := &Fleet{c: c, cfg: cfg, scheds: make([]*fleet.Scheduler, len(c.shards))}
+	f := &Fleet{c: c, cfg: cfg, scheds: make([]*fleet.Scheduler, len(c.shards)), tenantShard: make(map[string]int)}
 	c.fleets = append(c.fleets, f)
 	return f, nil
 }
@@ -120,6 +122,7 @@ func (f *Fleet) Admit(spec fleet.TenantSpec) (int, error) {
 		return 0, err
 	}
 	f.admissions = append(f.admissions, admission{shard: shard, idx: idx})
+	f.tenantShard[spec.Name] = shard
 	return shard, nil
 }
 
@@ -147,6 +150,69 @@ func (f *Fleet) Run(d simtime.Duration) (*fleet.Report, error) {
 				continue // fleet.Run errors on zero tenants; empty shards sit out
 			}
 			if _, err := s.Run(step); err != nil {
+				return nil, err
+			}
+		}
+		done += step
+	}
+	f.elapsed += d
+	return f.Snapshot(), nil
+}
+
+// Replay drives the cluster fleet from a workload trace for d of
+// simulated time: events route to the shard owning their tenant, and
+// every populated shard advances in Slice-sized windows exactly as Run
+// does — each window replays the events landing inside it, shifted to
+// window-relative time, so per-shard results depend only on (Seed, that
+// shard's tenant set, that shard's events, total duration). The same
+// trace through the same tenant placement renders byte-identical merged
+// reports at any shard count whose placement is identical per shard.
+// Events must be time-ordered within [0, d) and name admitted tenants.
+func (f *Fleet) Replay(tr *workload.Trace, d simtime.Duration) (*fleet.Report, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("cluster: fleet replay duration %d must be positive", d)
+	}
+	if len(f.admissions) == 0 {
+		return nil, fmt.Errorf("cluster: fleet has no tenants")
+	}
+	if tr == nil {
+		return nil, fmt.Errorf("cluster: fleet replay needs a trace")
+	}
+	perShard := make([][]workload.Event, len(f.scheds))
+	for i, ev := range tr.Events {
+		shard, ok := f.tenantShard[ev.Tenant]
+		if !ok {
+			return nil, fmt.Errorf("cluster: replay event %d names unadmitted tenant %q", i, ev.Tenant)
+		}
+		if ev.At < 0 || simtime.Duration(ev.At) >= d {
+			return nil, fmt.Errorf("cluster: replay event %d at %d outside window [0,%d)", i, ev.At, d)
+		}
+		perShard[shard] = append(perShard[shard], ev)
+	}
+	next := make([]int, len(f.scheds)) // per-shard cursor into perShard
+	var done simtime.Duration
+	for done < d {
+		step := f.cfg.Slice
+		if rem := d - done; rem < step {
+			step = rem
+		}
+		for shard, s := range f.scheds {
+			if s == nil {
+				continue // empty shards sit out, as in Run
+			}
+			evs := perShard[shard]
+			start := next[shard]
+			end := start
+			for end < len(evs) && simtime.Duration(evs[end].At) < done+step {
+				end++
+			}
+			window := make([]workload.Event, end-start)
+			for j, ev := range evs[start:end] {
+				ev.At -= simtime.Time(done) // shift to window-relative time
+				window[j] = ev
+			}
+			next[shard] = end
+			if _, err := s.Replay(window, step); err != nil {
 				return nil, err
 			}
 		}

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/elisa-go/elisa/internal/core"
+	"github.com/elisa-go/elisa/internal/fleet"
+	"github.com/elisa-go/elisa/internal/overload"
+	"github.com/elisa-go/elisa/internal/workload"
+)
+
+// replayCluster boots a cluster with the regression scenario's objects
+// pinned to shard 0 and its three tenants admitted — the placement that
+// makes the merged report shard-count invariant.
+func replayCluster(t *testing.T, shards int, d *overload.DecisionTrace) *Fleet {
+	t.Helper()
+	c := newTestCluster(t, shards, 19)
+	if err := c.RegisterFunc(workload.RegressionFn, func(*core.CallContext) (uint64, error) { return 0, nil }); err != nil {
+		t.Fatalf("RegisterFunc: %v", err)
+	}
+	specs, err := workload.RegressionSpecs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, sp := range specs {
+		for _, obj := range sp.Objects {
+			if seen[obj] {
+				continue
+			}
+			seen[obj] = true
+			if err := c.Ring().Pin(obj, 0); err != nil {
+				t.Fatalf("Pin: %v", err)
+			}
+			if _, err := c.CreateObject(obj, 4096); err != nil {
+				t.Fatalf("CreateObject: %v", err)
+			}
+		}
+	}
+	f, err := c.NewFleet(FleetConfig{Config: fleet.Config{Seed: 42, Cores: 2, QueueDepth: 32, Classes: 3, Decisions: d}})
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	for _, sp := range specs {
+		ts, err := fleet.SpecFromWorkload(sp, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Admit(ts); err != nil {
+			t.Fatalf("Admit %s: %v", sp.Name, err)
+		}
+	}
+	return f
+}
+
+// TestReplayClusterShardCountInvariance: the committed regression trace
+// replayed through a 1-shard and a 4-shard cluster (same placement:
+// everything pinned to shard 0) renders byte-identical merged report
+// tables and decision summaries — the acceptance gate for the replay
+// harness.
+func TestReplayClusterShardCountInvariance(t *testing.T) {
+	tr, err := workload.RegressionTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(shards int) (string, string) {
+		d := overload.NewDecisionTrace(0)
+		f := replayCluster(t, shards, d)
+		rep, err := f.Replay(tr, workload.RegressionHorizon)
+		if err != nil {
+			t.Fatalf("Replay: %v", err)
+		}
+		return rep.Table().String(), d.Summary()
+	}
+	t1, d1 := run(1)
+	t4, d4 := run(4)
+	if t1 != t4 {
+		t.Fatalf("reports differ between 1 and 4 shards:\n--- 1 shard\n%s\n--- 4 shards\n%s", t1, t4)
+	}
+	if d1 != d4 {
+		t.Fatalf("decision summaries differ between 1 and 4 shards:\n%s\nvs\n%s", d1, d4)
+	}
+	if !strings.Contains(t1, "web") || !strings.Contains(t1, "batch") || !strings.Contains(t1, "svc") {
+		t.Fatalf("merged report missing tenants:\n%s", t1)
+	}
+}
+
+// TestReplayClusterDeterministic: two same-configured 4-shard replays of
+// the committed trace are byte-identical, and every trace event lands
+// (submitted counts match the trace).
+func TestReplayClusterDeterministic(t *testing.T) {
+	tr, err := workload.RegressionTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() (*fleet.Report, string) {
+		f := replayCluster(t, 4, nil)
+		rep, err := f.Replay(tr, workload.RegressionHorizon)
+		if err != nil {
+			t.Fatalf("Replay: %v", err)
+		}
+		return rep, rep.Table().String()
+	}
+	repA, a := run()
+	_, b := run()
+	if a != b {
+		t.Fatalf("same-trace cluster replays diverged:\n%s\nvs\n%s", a, b)
+	}
+	want := map[string]uint64{}
+	for _, ev := range tr.Events {
+		want[ev.Tenant]++
+	}
+	for _, ten := range repA.Tenants {
+		if ten.Submitted != want[ten.Name] {
+			t.Errorf("%s submitted %d, trace has %d events", ten.Name, ten.Submitted, want[ten.Name])
+		}
+	}
+}
+
+// TestReplayClusterRejectsBadTrace: unadmitted tenants and
+// out-of-window events refuse before any shard advances.
+func TestReplayClusterRejectsBadTrace(t *testing.T) {
+	f := replayCluster(t, 2, nil)
+	bad := &workload.Trace{Events: []workload.Event{{At: 0, Tenant: "ghost", Object: "wk-00", Fn: workload.RegressionFn}}}
+	if _, err := f.Replay(bad, workload.RegressionHorizon); err == nil {
+		t.Fatal("replay accepted an unadmitted tenant")
+	}
+	late := &workload.Trace{Events: []workload.Event{{At: 5_000_000_000, Tenant: "web", Object: "wk-00", Fn: workload.RegressionFn}}}
+	if _, err := f.Replay(late, workload.RegressionHorizon); err == nil {
+		t.Fatal("replay accepted an event past the window")
+	}
+	if _, err := f.Replay(nil, workload.RegressionHorizon); err == nil {
+		t.Fatal("replay accepted a nil trace")
+	}
+}

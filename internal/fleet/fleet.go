@@ -113,6 +113,11 @@ type Config struct {
 	// core.Manager.SetOverload) and weights each tenant's drain share by
 	// Weight×(1+Class).
 	Overload core.OverloadConfig
+	// Decisions, when non-nil, logs every overload verdict — admit,
+	// throttle, quarantine, shed, drop, busy — into the trace for
+	// post-run fitness and counterfactual analysis (internal/fitness).
+	// Recording is observation only: arming it changes no decision.
+	Decisions *overload.DecisionTrace
 }
 
 // TenantSpec describes one tenant to admit.
@@ -130,8 +135,14 @@ type TenantSpec struct {
 	Objects []string
 	// Fn is the manager function every op calls.
 	Fn uint64
-	// RateOPS is the open-loop arrival rate, ops per simulated second.
+	// RateOPS is the open-loop arrival rate, ops per simulated second,
+	// behind a Poisson process. Ignored when Arrival is set.
 	RateOPS float64
+	// Arrival, when non-nil, replaces the RateOPS Poisson with a custom
+	// seeded arrival process (MMPP bursts, diurnal swings — any
+	// workload.Arrival). The caller owns the seeding; sharing one
+	// process between tenants breaks per-tenant determinism.
+	Arrival workload.Arrival
 	// Ops caps the total arrivals (0 = unlimited until the run deadline).
 	Ops int
 	// Class is the tenant's load-shedding priority class (0 = lowest;
@@ -145,10 +156,43 @@ type TenantSpec struct {
 	AdmitBurst   int
 }
 
+// SpecFromWorkload maps a parsed workload tenant spec onto a fleet
+// TenantSpec. The arrival process is built from the spec's arrival
+// family seeded with seed (replay never consults it, but admission
+// requires one); class, weight, and admission-bucket knobs carry over.
+func SpecFromWorkload(sp workload.Spec, seed int64) (TenantSpec, error) {
+	arr, err := sp.NewArrival(seed)
+	if err != nil {
+		return TenantSpec{}, fmt.Errorf("fleet: tenant %q: %w", sp.Name, err)
+	}
+	return TenantSpec{
+		Name:         sp.Name,
+		Weight:       sp.Weight,
+		Objects:      append([]string(nil), sp.Objects...),
+		Fn:           sp.Fn,
+		RateOPS:      sp.RateOPS,
+		Arrival:      arr,
+		Ops:          sp.Ops,
+		Class:        TenantClass(sp.Class),
+		AdmitRateOPS: sp.AdmitRateOPS,
+		AdmitBurst:   sp.AdmitBurst,
+	}, nil
+}
+
 // strideScale is the stride-scheduling numerator: pass advances by
 // strideScale/Weight per quantum, so heavier tenants accumulate pass more
 // slowly and are picked more often.
 const strideScale = 1 << 20
+
+// pendingOp is one queued arrival: its stamp, the handle it targets
+// (obj < 0 = round-robin, the generated-load default), and the manager
+// function to call. Trace replay resolves obj and fn from the trace row;
+// generated load leaves obj at -1 with the tenant's spec fn.
+type pendingOp struct {
+	arrived simtime.Time
+	obj     int
+	fn      uint64
+}
 
 // Tenant is one admitted guest plus its scheduling state.
 type Tenant struct {
@@ -157,7 +201,8 @@ type Tenant struct {
 	vm      *hv.VM
 	guest   *core.Guest
 	handles []*core.Handle
-	arrival *workload.Poisson
+	objIdx  map[string]int // object name -> handle index (trace replay)
+	arrival workload.Arrival
 
 	// ring mode (Config.RingDepth > 0): one caller per handle, plus a
 	// per-ring FIFO of arrival stamps for ops submitted but not yet seen
@@ -169,7 +214,7 @@ type Tenant struct {
 	pass   uint64
 	stride uint64
 
-	queue     []simtime.Time // arrival stamps of pending ops
+	queue     []pendingOp // pending ops in arrival order
 	submitted uint64
 	completed uint64
 	dropped   uint64
@@ -313,8 +358,8 @@ func (s *Scheduler) Admit(spec TenantSpec) (*Tenant, error) {
 	if len(spec.Objects) == 0 {
 		return nil, fmt.Errorf("fleet: tenant %q has no objects", spec.Name)
 	}
-	if spec.RateOPS <= 0 {
-		return nil, fmt.Errorf("fleet: tenant %q needs a positive arrival rate", spec.Name)
+	if spec.RateOPS <= 0 && spec.Arrival == nil {
+		return nil, fmt.Errorf("fleet: tenant %q needs a positive arrival rate or an arrival process", spec.Name)
 	}
 	if spec.Weight <= 0 {
 		spec.Weight = 1
@@ -326,9 +371,13 @@ func (s *Scheduler) Admit(spec TenantSpec) (*Tenant, error) {
 		return nil, fmt.Errorf("fleet: tenant %q class %d outside [0, %d)", spec.Name, spec.Class, s.cfg.Classes)
 	}
 	idx := len(s.tenants)
-	arrival, err := workload.NewPoisson(s.cfg.Seed+int64(idx)*7919+1, spec.RateOPS)
-	if err != nil {
-		return nil, fmt.Errorf("fleet: tenant %q: %w", spec.Name, err)
+	arrival := spec.Arrival
+	if arrival == nil {
+		p, err := workload.NewPoisson(s.cfg.Seed+int64(idx)*7919+1, spec.RateOPS)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: tenant %q: %w", spec.Name, err)
+		}
+		arrival = p
 	}
 	vm, err := s.hv.CreateVM(spec.Name, spec.RAMBytes)
 	if err != nil {
@@ -343,6 +392,7 @@ func (s *Scheduler) Admit(spec TenantSpec) (*Tenant, error) {
 		index:   idx,
 		vm:      vm,
 		guest:   g,
+		objIdx:  make(map[string]int, len(spec.Objects)),
 		arrival: arrival,
 		stride:  strideScale / uint64(spec.Weight),
 		hist:    stats.NewHistogram(),
@@ -374,6 +424,7 @@ func (s *Scheduler) Admit(spec TenantSpec) (*Tenant, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fleet: tenant %q attach %q: %w", spec.Name, obj, err)
 		}
+		t.objIdx[obj] = len(t.handles)
 		t.handles = append(t.handles, h)
 		if s.cfg.RingDepth > 0 {
 			rc, err := h.Ring(vm.VCPU(), core.RingConfig{Depth: s.cfg.RingDepth, Deadline: s.cfg.RingDeadline, Retry: ringRetry})
@@ -412,6 +463,44 @@ func (s *Scheduler) Tenants() []*Tenant {
 func (s *Scheduler) Run(d simtime.Duration) (*Report, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.runLocked(d, false, nil)
+}
+
+// Replay drives the fleet from a workload trace instead of the tenants'
+// arrival processes: each event is delivered to its tenant at its
+// recorded instant (relative to this window's start), targeting the
+// object and function the trace row names, through exactly the same
+// refusal ladder, queues, and scheduler as generated load. The same
+// (trace, seed, config) always renders a byte-identical report — a
+// committed trace plus its golden report is a whole-scenario regression
+// test. Events must land inside [0, d) and name admitted tenants and
+// attached objects; anything else refuses up front.
+func (s *Scheduler) Replay(events []workload.Event, d simtime.Duration) (*Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byName := make(map[string]*Tenant, len(s.tenants))
+	for _, t := range s.tenants {
+		byName[t.spec.Name] = t
+	}
+	for i, ev := range events {
+		t := byName[ev.Tenant]
+		if t == nil {
+			return nil, fmt.Errorf("fleet: replay event %d names unadmitted tenant %q", i, ev.Tenant)
+		}
+		if _, ok := t.objIdx[ev.Object]; !ok {
+			return nil, fmt.Errorf("fleet: replay event %d: tenant %q has no attachment for object %q", i, ev.Tenant, ev.Object)
+		}
+		if ev.At < 0 || simtime.Duration(ev.At) >= d {
+			return nil, fmt.Errorf("fleet: replay event %d at %d outside window [0,%d)", i, ev.At, d)
+		}
+	}
+	return s.runLocked(d, true, events)
+}
+
+// runLocked is the shared simulation core behind Run (replay=false:
+// tenants' arrival processes self-schedule) and Replay (replay=true:
+// the pre-validated event list is the arrival source). Callers hold s.mu.
+func (s *Scheduler) runLocked(d simtime.Duration, replay bool, events []workload.Event) (*Report, error) {
 	if d <= 0 {
 		return nil, fmt.Errorf("fleet: run duration %d must be positive", d)
 	}
@@ -458,8 +547,16 @@ func (s *Scheduler) Run(d simtime.Duration) (*Report, error) {
 			ringMode := s.cfg.RingDepth > 0
 			var spent simtime.Duration
 			for len(t.queue) > 0 && spent < s.cfg.Quantum {
-				arrived := t.queue[0]
+				op := t.queue[0]
 				t.queue = t.queue[1:]
+				// Generated load cycles handles round-robin (obj < 0);
+				// trace replay targets the handle the trace row named and
+				// leaves the cursor alone.
+				hi := op.obj
+				if hi < 0 {
+					hi = t.rr
+					t.rr = (t.rr + 1) % len(t.handles)
+				}
 				c0 := v.Clock().Now()
 				var err error
 				if ringMode {
@@ -469,17 +566,16 @@ func (s *Scheduler) Run(d simtime.Duration) (*Report, error) {
 					// latency is recorded at harvest time. Harvest before
 					// the completion queue can fill, or flushes stall on
 					// backpressure.
-					if t.rings[t.rr].Pending() >= s.cfg.RingDepth {
+					if t.rings[hi].Pending() >= s.cfg.RingDepth {
 						spent += s.harvestTenant(t, now.Add(spent))
 					}
-					err = t.rings[t.rr].Submit(v, t.spec.Fn)
+					err = t.rings[hi].Submit(v, op.fn)
 					if err == nil {
-						t.ringPend[t.rr] = append(t.ringPend[t.rr], arrived)
+						t.ringPend[hi] = append(t.ringPend[hi], op.arrived)
 					}
 				} else {
-					_, err = t.handles[t.rr].Call(v, t.spec.Fn)
+					_, err = t.handles[hi].Call(v, op.fn)
 				}
-				t.rr = (t.rr + 1) % len(t.handles)
 				cost := v.Clock().Elapsed(c0)
 				spent += cost
 				if err != nil {
@@ -495,7 +591,7 @@ func (s *Scheduler) Run(d simtime.Duration) (*Report, error) {
 				}
 				if !ringMode {
 					t.completed++
-					t.hist.Record(int64(now.Add(spent).Sub(arrived)))
+					t.hist.Record(int64(now.Add(spent).Sub(op.arrived)))
 				}
 			}
 			if ringMode && !t.crashed {
@@ -520,48 +616,83 @@ func (s *Scheduler) Run(d simtime.Duration) (*Report, error) {
 		}
 	}
 
-	// One self-rescheduling arrival chain per tenant.
-	var arrive func(t *Tenant) func(now simtime.Time)
-	arrive = func(t *Tenant) func(now simtime.Time) {
-		return func(now simtime.Time) {
-			if t.crashed {
-				return // a dead tenant's arrival chain ends
+	// admit runs one arrival through the refusal ladder — cheapest
+	// refusal first: the token bucket and the quarantine check refuse
+	// before any state is touched, the shedder refuses by fleet-wide
+	// occupancy and class, and only then does the bounded queue drop
+	// blindly — queueing it and kicking dispatch when every gate passes.
+	// Generated and replayed arrivals share this path, so a decision
+	// trace covers both identically.
+	admit := func(t *Tenant, now simtime.Time, op pendingOp) {
+		t.submitted++
+		switch {
+		case t.bucket != nil && !t.bucket.Allow(now):
+			t.throttled++
+			s.cfg.Decisions.Record(now, t.spec.Name, overload.VerdictThrottle, int(t.spec.Class), "token-bucket")
+			s.causalEvent(now, t.spec.Name, obs.EvThrottle, "token-bucket")
+		case t.quarantined:
+			t.breakerShed++
+			s.cfg.Decisions.Record(now, t.spec.Name, overload.VerdictQuarantine, int(t.spec.Class), "breaker-open")
+			s.causalEvent(now, t.spec.Name, obs.EvBreaker, "quarantined")
+		case s.shedder != nil && !s.shedder.Admit(now, s.occupancyLocked(), int(t.spec.Class)):
+			t.shed++
+			s.shedByClass[t.spec.Class]++
+			s.cfg.Decisions.Record(now, t.spec.Name, overload.VerdictShed, int(t.spec.Class),
+				fmt.Sprintf("threshold %d", s.shedThresh))
+			s.causalEvent(now, t.spec.Name, obs.EvShed,
+				fmt.Sprintf("class %d below threshold %d", t.spec.Class, s.shedThresh))
+		case len(t.queue) >= s.cfg.QueueDepth:
+			t.dropped++
+			s.cfg.Decisions.Record(now, t.spec.Name, overload.VerdictDrop, int(t.spec.Class), "queue-full")
+		default:
+			t.queue = append(t.queue, op)
+			if len(t.queue) > t.maxQueue {
+				t.maxQueue = len(t.queue)
 			}
-			if t.spec.Ops > 0 && t.submitted >= uint64(t.spec.Ops) {
-				return
-			}
-			t.submitted++
-			// Overload gates, cheapest refusal first: the token bucket and
-			// the quarantine check refuse before any state is touched, the
-			// shedder refuses by fleet-wide occupancy and class, and only
-			// then does the bounded queue drop blindly.
-			switch {
-			case t.bucket != nil && !t.bucket.Allow(now):
-				t.throttled++
-				s.causalEvent(now, t.spec.Name, obs.EvThrottle, "token-bucket")
-			case t.quarantined:
-				t.breakerShed++
-				s.causalEvent(now, t.spec.Name, obs.EvBreaker, "quarantined")
-			case s.shedder != nil && !s.shedder.Admit(now, s.occupancyLocked(), int(t.spec.Class)):
-				t.shed++
-				s.shedByClass[t.spec.Class]++
-				s.causalEvent(now, t.spec.Name, obs.EvShed,
-					fmt.Sprintf("class %d below threshold %d", t.spec.Class, s.shedThresh))
-			case len(t.queue) >= s.cfg.QueueDepth:
-				t.dropped++
-			default:
-				t.queue = append(t.queue, now)
-				if len(t.queue) > t.maxQueue {
-					t.maxQueue = len(t.queue)
-				}
-				dispatch(now)
-			}
-			_, _ = sim.After(t.arrival.NextInterval(), arrive(t))
+			s.cfg.Decisions.Record(now, t.spec.Name, overload.VerdictAdmit, int(t.spec.Class), "")
+			dispatch(now)
 		}
 	}
-	for _, t := range s.tenants {
-		if _, err := sim.After(t.arrival.NextInterval(), arrive(t)); err != nil {
-			return nil, err
+
+	if replay {
+		// Trace-driven arrivals: every event is pre-scheduled at its
+		// recorded instant, targeting the handle and fn the row named.
+		byName := make(map[string]*Tenant, len(s.tenants))
+		for _, t := range s.tenants {
+			byName[t.spec.Name] = t
+		}
+		for _, ev := range events {
+			t := byName[ev.Tenant]
+			obj := t.objIdx[ev.Object]
+			fn := ev.Fn
+			if _, err := sim.At(simtime.Time(ev.At), func(now simtime.Time) {
+				if t.crashed {
+					return // arrivals to a dead tenant evaporate
+				}
+				admit(t, now, pendingOp{arrived: now, obj: obj, fn: fn})
+			}); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		// One self-rescheduling arrival chain per tenant.
+		var arrive func(t *Tenant) func(now simtime.Time)
+		arrive = func(t *Tenant) func(now simtime.Time) {
+			return func(now simtime.Time) {
+				if t.crashed {
+					return // a dead tenant's arrival chain ends
+				}
+				if t.spec.Ops > 0 && t.submitted >= uint64(t.spec.Ops) {
+					return
+				}
+				admit(t, now, pendingOp{arrived: now, obj: -1, fn: t.spec.Fn})
+				_, _ = sim.After(t.arrival.NextInterval(), arrive(t))
+			}
+		}
+		for _, t := range s.tenants {
+			if _, err := sim.After(t.arrival.NextInterval(), arrive(t)); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -670,6 +801,7 @@ func (s *Scheduler) harvestTenant(t *Tenant, now simtime.Time) simtime.Duration 
 				t.ringPend[i] = t.ringPend[i][1:]
 				if comps[j].Status == shm.CompBusy {
 					t.busied++
+					s.cfg.Decisions.Record(now, t.spec.Name, overload.VerdictBusy, int(t.spec.Class), "ring-busy")
 					continue
 				}
 				if comps[j].Status != shm.CompOK {
@@ -857,4 +989,26 @@ func (s *Scheduler) Snapshot() *Report {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.reportLocked()
+}
+
+// Table renders the report as the canonical per-tenant text table — the
+// byte-identical artefact replay regressions and elisa-replay goldens
+// diff. Same report, same bytes.
+func (r *Report) Table() *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Fleet report: %s over %d core(s)", r.Duration, r.Cores),
+		"Tenant", "Cls", "W", "Submitted", "Done", "Goodput[ops/s]",
+		"p50[ns]", "p99[ns]", "Drop", "Shed", "Thr", "Busy", "Lost", "MaxQ")
+	var submitted, completed, refused uint64
+	for _, tr := range r.Tenants {
+		shed := tr.Shed + tr.BreakerShed
+		t.AddRow(tr.Name, tr.Class, tr.Weight, tr.Submitted, tr.Completed,
+			tr.GoodputOPS, int64(tr.P50), int64(tr.P99),
+			tr.Dropped, shed, tr.Throttled, tr.Busied, tr.Lost, tr.MaxQueue)
+		submitted += tr.Submitted
+		completed += tr.Completed
+		refused += tr.Dropped + shed + tr.Throttled + tr.Busied
+	}
+	t.AddNote("fleet: %d submitted, %d completed, %d refused", submitted, completed, refused)
+	return t
 }

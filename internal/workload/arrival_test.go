@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/elisa-go/elisa/internal/simtime"
+)
+
+// empiricalOPS drives an arrival process for n gaps and returns the
+// realised rate in ops per simulated second.
+func empiricalOPS(a Arrival, n int) float64 {
+	var total simtime.Duration
+	for i := 0; i < n; i++ {
+		total += a.NextInterval()
+	}
+	return float64(n) / total.Seconds()
+}
+
+// TestWorkloadMMPPMeanConvergence: the empirical rate of a long MMPP run
+// converges to the dwell-weighted mean of the two state rates.
+func TestWorkloadMMPPMeanConvergence(t *testing.T) {
+	m, err := NewMMPP(21, 100_000, 1_600_000, 120*simtime.Microsecond, 30*simtime.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.MeanOPS()
+	if wantSpec := (100_000.0*120 + 1_600_000.0*30) / 150; want < wantSpec*0.999 || want > wantSpec*1.001 {
+		t.Fatalf("MeanOPS %.0f, spec formula %.0f", want, wantSpec)
+	}
+	got := empiricalOPS(m, 200_000)
+	if got < 0.9*want || got > 1.1*want {
+		t.Fatalf("empirical rate %.0f ops/s, want %.0f +/-10%%", got, want)
+	}
+}
+
+// TestWorkloadMMPPBurstiness: an MMPP with a hot burst state must be
+// burstier than Poisson — the squared coefficient of variation of its
+// gaps stays well above the exponential's 1.
+func TestWorkloadMMPPBurstiness(t *testing.T) {
+	m, err := NewMMPP(4, 50_000, 2_000_000, 200*simtime.Microsecond, 50*simtime.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100_000
+	gaps := make([]float64, n)
+	var mean float64
+	for i := range gaps {
+		gaps[i] = float64(m.NextInterval())
+		mean += gaps[i]
+	}
+	mean /= n
+	var varsum float64
+	for _, g := range gaps {
+		varsum += (g - mean) * (g - mean)
+	}
+	cv2 := varsum / n / (mean * mean)
+	if cv2 < 1.5 {
+		t.Fatalf("squared CV %.2f — not meaningfully burstier than Poisson (1.0)", cv2)
+	}
+}
+
+// TestWorkloadDiurnalMeanConvergence: over whole periods the sinusoid
+// integrates away and the realised rate converges to the base rate.
+func TestWorkloadDiurnalMeanConvergence(t *testing.T) {
+	d, err := NewDiurnal(31, 500_000, 0.8, 100*simtime.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := empiricalOPS(d, 200_000) // ~400ms: 4000 periods
+	if got < 0.9*500_000 || got > 1.1*500_000 {
+		t.Fatalf("empirical rate %.0f ops/s, want 500000 +/-10%%", got)
+	}
+}
+
+// TestWorkloadDiurnalModulation: the realised rate inside peak
+// half-periods must exceed the rate inside trough half-periods — the
+// thinning really modulates, not just averages.
+func TestWorkloadDiurnalModulation(t *testing.T) {
+	period := 100 * simtime.Microsecond
+	d, err := NewDiurnal(8, 500_000, 0.9, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now simtime.Time
+	peak, trough := 0, 0
+	for i := 0; i < 100_000; i++ {
+		now = now.Add(d.NextInterval())
+		if phase := int64(now) % int64(period); phase < int64(period)/2 {
+			peak++ // sin positive: first half-period
+		} else {
+			trough++
+		}
+	}
+	if peak < 2*trough {
+		t.Fatalf("peak/trough split %d/%d — modulation too weak for amp 0.9", peak, trough)
+	}
+}
+
+// TestWorkloadArrivalDeterminism: for every process family, same seed =>
+// identical gap stream, different seed => divergence.
+func TestWorkloadArrivalDeterminism(t *testing.T) {
+	build := map[string]func(seed int64) (Arrival, error){
+		"poisson": func(seed int64) (Arrival, error) { return NewPoisson(seed, 250_000) },
+		"mmpp": func(seed int64) (Arrival, error) {
+			return NewMMPP(seed, 100_000, 800_000, 80*simtime.Microsecond, 20*simtime.Microsecond)
+		},
+		"diurnal": func(seed int64) (Arrival, error) {
+			return NewDiurnal(seed, 250_000, 0.6, 50*simtime.Microsecond)
+		},
+	}
+	for name, mk := range build {
+		a, err := mk(11)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, _ := mk(11)
+		c, _ := mk(12)
+		diverged := false
+		for i := 0; i < 10_000; i++ {
+			av := a.NextInterval()
+			if bv := b.NextInterval(); av != bv {
+				t.Fatalf("%s: same-seed gap %d differs: %v vs %v", name, i, av, bv)
+			}
+			if av != c.NextInterval() {
+				diverged = true
+			}
+		}
+		if !diverged {
+			t.Errorf("%s: different seeds produced identical streams", name)
+		}
+	}
+}
+
+// TestWorkloadArrivalBoundaries: zero and negative shape parameters must
+// refuse at construction, never at first use.
+func TestWorkloadArrivalBoundaries(t *testing.T) {
+	us := simtime.Microsecond
+	cases := []struct {
+		name string
+		mk   func() error
+	}{
+		{"poisson zero rate", func() error { _, err := NewPoisson(1, 0); return err }},
+		{"poisson negative rate", func() error { _, err := NewPoisson(1, -5); return err }},
+		{"mmpp zero calm rate", func() error { _, err := NewMMPP(1, 0, 100, 10*us, 10*us); return err }},
+		{"mmpp zero burst rate", func() error { _, err := NewMMPP(1, 100, 0, 10*us, 10*us); return err }},
+		{"mmpp zero calm dwell", func() error { _, err := NewMMPP(1, 100, 200, 0, 10*us); return err }},
+		{"mmpp negative burst dwell", func() error { _, err := NewMMPP(1, 100, 200, 10*us, -us); return err }},
+		{"diurnal zero rate", func() error { _, err := NewDiurnal(1, 0, 0.5, us); return err }},
+		{"diurnal amp 1", func() error { _, err := NewDiurnal(1, 100, 1, us); return err }},
+		{"diurnal negative amp", func() error { _, err := NewDiurnal(1, 100, -0.1, us); return err }},
+		{"diurnal zero period", func() error { _, err := NewDiurnal(1, 100, 0.5, 0); return err }},
+	}
+	for _, tc := range cases {
+		if tc.mk() == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestWorkloadSingleEventHorizon: a horizon that admits at most one
+// arrival generates at most one event, and a horizon at or below the
+// minimum gap generates none from a slow tenant.
+func TestWorkloadSingleEventHorizon(t *testing.T) {
+	specs := []Spec{{
+		Name: "slow", RateOPS: 1000, Objects: []string{"o"}, Fn: 1,
+	}}
+	// 1000 ops/s => mean gap 1ms. A 1ns horizon precedes any arrival.
+	tr, err := Generate(specs, 5, simtime.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 0 {
+		t.Fatalf("1ns horizon produced %d events", len(tr.Events))
+	}
+	// A one-gap horizon: find the first gap, generate just past it.
+	p, _ := NewPoisson(5+1, 1000) // Generate's lane seed for spec 0
+	first := p.NextInterval()
+	second := p.NextInterval()
+	tr, err = Generate(specs, 5, first+min(second, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 1 {
+		t.Fatalf("single-event horizon produced %d events", len(tr.Events))
+	}
+	if tr.Events[0].At != simtime.Time(0).Add(first) {
+		t.Fatalf("event at %d, want %d", tr.Events[0].At, first)
+	}
+}

@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/elisa-go/elisa/internal/simtime"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestWorkloadGenerateDeterminism: the generator is a pure function of
+// (specs, seed, horizon) — same inputs render byte-identical traces,
+// different seeds diverge.
+func TestWorkloadGenerateDeterminism(t *testing.T) {
+	gen := func(seed int64) []byte {
+		specs2, err := RegressionSpecs() // fresh copy: Generate mutates defaults in place
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := Generate(specs2, seed, 200*simtime.Microsecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b, c := gen(7), gen(7), gen(8)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same-seed traces differ")
+	}
+	if bytes.Equal(a, c) {
+		t.Fatal("different-seed traces identical")
+	}
+}
+
+// TestWorkloadGenerateShape: generated events are time-ordered, within
+// the horizon, and attributed to spec'd tenants/objects/classes.
+func TestWorkloadGenerateShape(t *testing.T) {
+	specs, err := RegressionSpecs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := 300 * simtime.Microsecond
+	tr, err := Generate(specs, 3, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("no events generated")
+	}
+	byName := make(map[string]*Spec)
+	for i := range specs {
+		byName[specs[i].Name] = &specs[i]
+	}
+	var last simtime.Time
+	perTenant := map[string]int{}
+	for i, ev := range tr.Events {
+		if ev.At < last {
+			t.Fatalf("event %d out of order: %d after %d", i, ev.At, last)
+		}
+		last = ev.At
+		if simtime.Duration(ev.At) >= horizon {
+			t.Fatalf("event %d at %d past horizon %d", i, ev.At, horizon)
+		}
+		sp := byName[ev.Tenant]
+		if sp == nil {
+			t.Fatalf("event %d names unknown tenant %q", i, ev.Tenant)
+		}
+		if ev.Class != sp.Class || ev.Fn != sp.Fn || ev.Size != sp.SizeBytes {
+			t.Fatalf("event %d does not match spec %q: %+v", i, sp.Name, ev)
+		}
+		found := false
+		for _, o := range sp.Objects {
+			if o == ev.Object {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("event %d object %q outside %q's set", i, ev.Object, sp.Name)
+		}
+		perTenant[ev.Tenant]++
+	}
+	for name := range byName {
+		if perTenant[name] == 0 {
+			t.Errorf("tenant %q generated no events over %v", name, horizon)
+		}
+	}
+}
+
+// TestWorkloadRegressionTraceGolden pins the committed regression trace:
+// the embedded spec rendered under (RegressionSeed, RegressionHorizon)
+// must reproduce testdata/regression_trace.csv byte for byte. Regenerate
+// with `go test ./internal/workload -run RegressionTrace -update` after
+// an intentional generator or spec change — and expect to re-cut every
+// downstream golden (fleet/cluster replay reports, elisa-replay,
+// EXPERIMENTS.md) when you do.
+func TestWorkloadRegressionTraceGolden(t *testing.T) {
+	specs, err := RegressionSpecs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Generate(specs, RegressionSeed, RegressionHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "regression_trace.csv")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("regression trace drifted from committed golden (%d vs %d bytes); run with -update if intentional", buf.Len(), len(want))
+	}
+	// The embedded copy must parse back to the generated events exactly.
+	parsed, err := RegressionTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parsed.Events, tr.Events) {
+		t.Fatal("embedded trace does not parse back to the generated events")
+	}
+	if len(parsed.Events) < 200 {
+		t.Fatalf("regression trace suspiciously small: %d events", len(parsed.Events))
+	}
+}

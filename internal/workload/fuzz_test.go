@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzTraceParse throws arbitrary bytes at the CSV trace parser — the
+// boundary where committed scenario files and operator-supplied traces
+// enter the simulator. The invariants: never panic, bound memory (the
+// parser rejects oversized lines and fields rather than buffering them),
+// and accepted traces survive a write/parse round trip unchanged. The
+// seed corpus under testdata/fuzz/FuzzTraceParse keeps the interesting
+// shapes: a valid trace, malformed rows, huge fields, and out-of-order
+// timestamps (which must error, never reorder).
+func FuzzTraceParse(f *testing.F) {
+	f.Add([]byte(TraceHeader + "\n0,web,wk-00,0xf1ee0010,2,256\n113,batch,wk-03,7,0,1024\n"))
+	f.Add([]byte(TraceHeader + "\n10,a,b,0,0,1\n5,a,b,0,0,1\n"))
+	f.Add([]byte(TraceHeader + "\n1,a,b,0,0," + strings.Repeat("9", 64) + "\n"))
+	f.Add([]byte("arrival_ns,tenant\n1,a\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ParseTrace(bytes.NewReader(data))
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		var prev int64 = -1
+		for i, ev := range tr.Events {
+			if int64(ev.At) < prev {
+				t.Fatalf("event %d accepted out of order: %d after %d", i, ev.At, prev)
+			}
+			prev = int64(ev.At)
+			if ev.Tenant == "" || ev.Object == "" || ev.Class < 0 || ev.Size < 0 {
+				t.Fatalf("event %d accepted with invalid fields: %+v", i, ev)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, tr); err != nil {
+			t.Fatalf("rewrite of accepted trace failed: %v", err)
+		}
+		again, err := ParseTrace(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reparse of rewritten trace failed: %v", err)
+		}
+		if !reflect.DeepEqual(tr.Events, again.Events) {
+			t.Fatal("write/parse round trip changed the events")
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package workload
+
+import (
+	"bytes"
+	_ "embed"
+
+	"github.com/elisa-go/elisa/internal/simtime"
+)
+
+// The committed regression scenario: a three-tenant spec (one tenant per
+// arrival-process family) and the trace it renders to under
+// RegressionSeed and RegressionHorizon. Both files are embedded so every
+// consumer — the workload goldens, the fleet/cluster replay determinism
+// tests, ext_workload, and the elisa-replay goldens — replays the same
+// bytes without path plumbing.
+var (
+	//go:embed testdata/regression_spec.conf
+	regressionSpecConf []byte
+	//go:embed testdata/regression_trace.csv
+	regressionTraceCSV []byte
+)
+
+// RegressionSeed and RegressionHorizon are the Generate inputs that
+// render the committed spec into the committed trace.
+const (
+	RegressionSeed    int64 = 42
+	RegressionHorizon       = 250 * simtime.Microsecond
+)
+
+// RegressionFn is the manager function every committed-trace op calls.
+const RegressionFn uint64 = 0xF1EE0010
+
+// RegressionSpecs parses the committed tenant specs.
+func RegressionSpecs() ([]Spec, error) {
+	return ParseSpecs(bytes.NewReader(regressionSpecConf))
+}
+
+// RegressionTrace parses the committed trace.
+func RegressionTrace() (*Trace, error) {
+	return ParseTrace(bytes.NewReader(regressionTraceCSV))
+}
+
+// RegressionTraceBytes returns the committed trace file verbatim (the
+// golden the generator must reproduce).
+func RegressionTraceBytes() []byte {
+	return append([]byte(nil), regressionTraceCSV...)
+}

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestWorkloadTraceRoundTrip: write(parse(write(tr))) is byte-identical
+// and the parsed events match the originals field for field.
+func TestWorkloadTraceRoundTrip(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{At: 0, Tenant: "web", Object: "wk-00", Fn: 0xF1EE0010, Class: 2, Size: 256},
+		{At: 113, Tenant: "batch", Object: "wk-03", Fn: 7, Class: 0, Size: 1024},
+		{At: 113, Tenant: "web", Object: "wk-01", Fn: 0xF1EE0010, Class: 2, Size: 256},
+		{At: 999_999, Tenant: "svc", Object: "wk-02", Fn: 0, Class: 1, Size: 64},
+	}}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Events, tr.Events) {
+		t.Fatalf("round trip drifted:\n%+v\nvs\n%+v", got.Events, tr.Events)
+	}
+	var again bytes.Buffer
+	if err := WriteTrace(&again, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("second write not byte-identical")
+	}
+	if d := got.Duration(); d != 1_000_000 {
+		t.Fatalf("Duration %d, want 1000000", d)
+	}
+	if tn := got.Tenants(); !reflect.DeepEqual(tn, []string{"web", "batch", "svc"}) {
+		t.Fatalf("Tenants %v", tn)
+	}
+}
+
+// TestWorkloadTraceParseErrors: every malformed shape errors with the
+// offending line, and never panics.
+func TestWorkloadTraceParseErrors(t *testing.T) {
+	hdr := TraceHeader + "\n"
+	cases := []struct {
+		name, in, want string
+	}{
+		{"empty", "", "missing header"},
+		{"wrong header", "time,who\n", "header"},
+		{"five fields", hdr + "1,a,b,0,0\n", "fields"},
+		{"seven fields", hdr + "1,a,b,0,0,1,extra\n", "fields"},
+		{"negative time", hdr + "-5,a,b,0,0,1\n", "arrival_ns"},
+		{"non-numeric time", hdr + "soon,a,b,0,0,1\n", "arrival_ns"},
+		{"out of order", hdr + "10,a,b,0,0,1\n5,a,b,0,0,1\n", "time-ordered"},
+		{"empty tenant", hdr + "1,,b,0,0,1\n", "tenant"},
+		{"huge tenant", hdr + "1," + strings.Repeat("x", 300) + ",b,0,0,1\n", "tenant"},
+		{"empty object", hdr + "1,a,,0,0,1\n", "object"},
+		{"bad fn", hdr + "1,a,b,zz,0,1\n", "fn"},
+		{"negative class", hdr + "1,a,b,0,-1,1\n", "class"},
+		{"class overflow", hdr + "1,a,b,0,9999,1\n", "class"},
+		{"negative size", hdr + "1,a,b,0,0,-2\n", "size"},
+		{"size overflow", hdr + "1,a,b,0,0,99999999999\n", "size"},
+		{"giant line", hdr + "1,a,b,0,0," + strings.Repeat("1", 8192) + "\n", ""},
+	}
+	for _, tc := range cases {
+		_, err := ParseTrace(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestWorkloadTraceParseLenient: the shapes that must NOT error — hex
+// fns, equal timestamps, CRLF endings, trailing blank lines.
+func TestWorkloadTraceParseLenient(t *testing.T) {
+	in := TraceHeader + "\r\n" +
+		"5,a,b,0xff,0,64\r\n" +
+		"5,c,d,255,1,64\n" +
+		"\n"
+	tr, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 2 {
+		t.Fatalf("%d events, want 2", len(tr.Events))
+	}
+	if tr.Events[0].Fn != 255 || tr.Events[1].Fn != 255 {
+		t.Fatalf("hex/decimal fn mismatch: %+v", tr.Events)
+	}
+}

@@ -35,31 +35,85 @@ func NewUniform(seed int64, n int) (*Uniform, error) {
 func (u *Uniform) Next() int { return u.rng.Intn(u.n) }
 
 // Zipf picks keys with a zipfian popularity skew (the classic KV-store
-// workload shape; YCSB uses s≈0.99).
+// workload shape; YCSB uses s≈0.99). Skews in (0,1) use the Gray et al.
+// generator ("Quickly Generating Billion-Record Synthetic Databases",
+// the YCSB ZipfianGenerator); skews above 1 keep the original math/rand
+// path, so existing s=1.01 callers reproduce their historical streams.
 type Zipf struct {
-	z *rand.Zipf
+	z *rand.Zipf // s > 1: legacy math/rand path
+
+	// Gray et al. state, 0 < s < 1. The closed-form inverse needs only
+	// zeta(n,s) (computed once at construction), so Next is O(1).
+	rng   *rand.Rand
+	n     float64
+	zetan float64 // zeta(n, s) = sum_{i=1..n} 1/i^s
+	alpha float64 // 1/(1-s)
+	eta   float64 // (1-(2/n)^(1-s)) / (1 - zeta(2,s)/zeta(n,s))
+	half  float64 // 0.5^s
+	max   int     // n-1, the clamp for floating-point edge cases
 }
 
-// NewZipf returns a zipfian chooser over [0, n) with skew s > 1 handled by
-// math/rand (which requires s > 1; callers wanting YCSB's 0.99 can use
-// 1.01 with negligible difference at these scales).
+// NewZipf returns a zipfian chooser over [0, n) with skew s: index 0 is
+// the most popular key. Any positive skew except exactly 1 is accepted
+// (use 0.99 or 1.01 around the harmonic singularity).
 func NewZipf(seed int64, n int, s float64) (*Zipf, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("workload: zipf over %d keys", n)
 	}
-	if s <= 1 {
-		return nil, fmt.Errorf("workload: zipf skew %v must be > 1", s)
+	if s <= 0 || s == 1 {
+		return nil, fmt.Errorf("workload: zipf skew %v must be positive and not exactly 1", s)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	z := rand.NewZipf(rng, s, 1, uint64(n-1))
-	if z == nil {
-		return nil, fmt.Errorf("workload: invalid zipf parameters (s=%v, n=%d)", s, n)
+	if s > 1 {
+		z := rand.NewZipf(rng, s, 1, uint64(n-1))
+		if z == nil {
+			return nil, fmt.Errorf("workload: invalid zipf parameters (s=%v, n=%d)", s, n)
+		}
+		return &Zipf{z: z}, nil
 	}
-	return &Zipf{z: z}, nil
+	zeta2, zetan := 0.0, 0.0
+	for i := 1; i <= n; i++ {
+		zetan += 1 / math.Pow(float64(i), s)
+		if i == 2 {
+			zeta2 = zetan
+		}
+	}
+	if n == 1 {
+		zeta2 = zetan // degenerate single-key universe: Next is always 0
+	}
+	return &Zipf{
+		rng:   rng,
+		n:     float64(n),
+		zetan: zetan,
+		alpha: 1 / (1 - s),
+		eta:   (1 - math.Pow(2/float64(n), 1-s)) / (1 - zeta2/zetan),
+		half:  math.Pow(0.5, s),
+		max:   n - 1,
+	}, nil
 }
 
 // Next returns the next key index.
-func (z *Zipf) Next() int { return int(z.z.Uint64()) }
+func (z *Zipf) Next() int {
+	if z.z != nil {
+		return int(z.z.Uint64())
+	}
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+z.half {
+		return 1
+	}
+	k := int(z.n * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if k < 0 {
+		k = 0
+	}
+	if k > z.max {
+		k = z.max
+	}
+	return k
+}
 
 // Mix flips a weighted coin for read-vs-write style choices.
 type Mix struct {

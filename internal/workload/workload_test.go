@@ -53,11 +53,17 @@ func TestZipfSkew(t *testing.T) {
 	if counts[0] < 10*counts[500]+1 {
 		t.Fatalf("no skew: head=%d mid=%d", counts[0], counts[500])
 	}
-	if _, err := NewZipf(1, 100, 0.9); err == nil {
-		t.Fatal("s<=1 accepted")
-	}
 	if _, err := NewZipf(1, 0, 1.2); err == nil {
 		t.Fatal("n=0 accepted")
+	}
+	if _, err := NewZipf(1, 100, 0); err == nil {
+		t.Fatal("s=0 accepted")
+	}
+	if _, err := NewZipf(1, 100, -0.5); err == nil {
+		t.Fatal("negative skew accepted")
+	}
+	if _, err := NewZipf(1, 100, 1); err == nil {
+		t.Fatal("s=1 (harmonic singularity) accepted")
 	}
 }
 

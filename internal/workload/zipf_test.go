@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestWorkloadZipfGrayShape checks the Gray et al. path against the
+// closed-form zipfian pmf at YCSB's s=0.99: the empirical frequency of
+// each head rank must sit near 1/(rank+1)^s / zeta(n,s), and popularity
+// must fall monotonically down the head.
+func TestWorkloadZipfGrayShape(t *testing.T) {
+	const (
+		n     = 100
+		s     = 0.99
+		draws = 400_000
+	)
+	z, err := NewZipf(9, n, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		k := z.Next()
+		if k < 0 || k >= n {
+			t.Fatalf("out of range: %d", k)
+		}
+		counts[k]++
+	}
+	var zetan float64
+	for i := 1; i <= n; i++ {
+		zetan += 1 / math.Pow(float64(i), s)
+	}
+	for _, rank := range []int{0, 1, 2, 4, 9} {
+		want := 1 / math.Pow(float64(rank+1), s) / zetan
+		got := float64(counts[rank]) / draws
+		if math.Abs(got-want) > 0.15*want {
+			t.Errorf("rank %d: empirical %.4f, pmf %.4f (>15%% off)", rank, got, want)
+		}
+	}
+	if !(counts[0] > counts[4] && counts[4] > counts[20] && counts[20] > counts[80]) {
+		t.Errorf("popularity not falling down the head: %d/%d/%d/%d",
+			counts[0], counts[4], counts[20], counts[80])
+	}
+}
+
+// TestWorkloadZipfLegacyPathCompat pins the s>1 compatibility contract:
+// the old math/rand path still backs skews above 1, so existing s=1.01
+// callers reproduce their historical streams bit-for-bit.
+func TestWorkloadZipfLegacyPathCompat(t *testing.T) {
+	const (
+		seed = 77
+		n    = 500
+		s    = 1.01
+	)
+	z, err := NewZipf(seed, n, s)
+	if err != nil {
+		t.Fatalf("s=1.01 must stay accepted: %v", err)
+	}
+	want := rand.NewZipf(rand.New(rand.NewSource(seed)), s, 1, uint64(n-1))
+	for i := 0; i < 10_000; i++ {
+		if got, legacy := z.Next(), int(want.Uint64()); got != legacy {
+			t.Fatalf("draw %d: %d, legacy math/rand path %d", i, got, legacy)
+		}
+	}
+}
+
+// TestWorkloadZipfDeterminism: same seed, same stream; different seeds
+// diverge — on both sides of the s=1 split.
+func TestWorkloadZipfDeterminism(t *testing.T) {
+	for _, s := range []float64{0.99, 1.2} {
+		a, _ := NewZipf(5, 1000, s)
+		b, _ := NewZipf(5, 1000, s)
+		c, _ := NewZipf(6, 1000, s)
+		same, diff := true, false
+		for i := 0; i < 2000; i++ {
+			av := a.Next()
+			if av != b.Next() {
+				same = false
+			}
+			if av != c.Next() {
+				diff = true
+			}
+		}
+		if !same {
+			t.Errorf("s=%v: same-seed streams diverged", s)
+		}
+		if !diff {
+			t.Errorf("s=%v: different seeds produced identical streams", s)
+		}
+	}
+}
+
+// TestWorkloadZipfSingleKey: the degenerate one-key universe always
+// returns 0 and never divides by zero.
+func TestWorkloadZipfSingleKey(t *testing.T) {
+	z, err := NewZipf(3, 1, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if k := z.Next(); k != 0 {
+			t.Fatalf("single-key zipf returned %d", k)
+		}
+	}
+}
