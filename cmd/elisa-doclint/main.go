@@ -9,14 +9,20 @@
 //   - every relative link in the repository's markdown files resolves
 //     to a file that exists, and every intra-repo anchor (`#section`,
 //     `FILE.md#section`) resolves to a heading in the target file (by
-//     the GitHub heading-slug algorithm).
+//     the GitHub heading-slug algorithm);
+//   - every latency constant quoted in COSTMODEL.md's tables matches the
+//     calibrated model in internal/simtime/cost.go — the values package
+//     core charges and the perfgate kernels measure — including the two
+//     derived Table 2 anchors, and no model constant is missing from the
+//     document.
 //
 // Usage:
 //
-//	elisa-doclint            # lint the tree rooted at the working directory
-//	elisa-doclint -root DIR  # lint another tree
-//	elisa-doclint -go=false  # markdown links only
-//	elisa-doclint -md=false  # Go doc comments only
+//	elisa-doclint              # lint the tree rooted at the working directory
+//	elisa-doclint -root DIR    # lint another tree
+//	elisa-doclint -go=false    # skip Go doc comments
+//	elisa-doclint -md=false    # skip markdown links
+//	elisa-doclint -cost=false  # skip the COSTMODEL.md drift check
 //
 // Exit status is non-zero when any finding is reported, so CI can gate
 // on it (see scripts/check-docs.sh and the docs job in ci.yml).
@@ -33,6 +39,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 	"unicode"
 )
@@ -41,6 +48,7 @@ func main() {
 	root := flag.String("root", ".", "tree to lint")
 	goLint := flag.Bool("go", true, "lint Go doc comments")
 	mdLint := flag.Bool("md", true, "lint markdown links")
+	costLint := flag.Bool("cost", true, "check COSTMODEL.md constants against internal/simtime")
 	flag.Parse()
 
 	var findings []string
@@ -54,6 +62,14 @@ func main() {
 	}
 	if *mdLint {
 		f, err := lintMarkdownLinks(*root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "elisa-doclint: %v\n", err)
+			os.Exit(2)
+		}
+		findings = append(findings, f...)
+	}
+	if *costLint {
+		f, err := lintCostModel(*root)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "elisa-doclint: %v\n", err)
 			os.Exit(2)
@@ -229,6 +245,161 @@ func receiverTypeName(recv *ast.FieldList) string {
 		return id.Name
 	}
 	return ""
+}
+
+// costModelDoc and costModelSource are the two halves of the cost-model
+// drift check: the markdown reference and the one Go file whose Default()
+// literal is the source of truth for every simulated-time constant (the
+// values internal/core charges and the internal/perfgate kernels measure).
+const (
+	costModelDoc    = "COSTMODEL.md"
+	costModelSource = "internal/simtime/cost.go"
+)
+
+// parseCostDefaults parses the Default() composite literal in
+// costModelSource and returns every field assigned an integer literal,
+// by name. Underscored literals (10_000_000_000) parse like Go does.
+func parseCostDefaults(path string) (map[string]float64, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	vals := map[string]float64{}
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Recv != nil || fd.Name.Name != "Default" {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			kv, ok := n.(*ast.KeyValueExpr)
+			if !ok {
+				return true
+			}
+			id, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if bl, ok := kv.Value.(*ast.BasicLit); ok && bl.Kind == token.INT {
+				if v, err := strconv.ParseFloat(strings.ReplaceAll(bl.Value, "_", ""), 64); err == nil {
+					vals[id.Name] = v
+				}
+			}
+			return true
+		})
+	}
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("%s: no Default() literal found", path)
+	}
+	return vals, nil
+}
+
+// costCell matches the leading quantity of a Value cell: a number and
+// its unit — nanoseconds for durations, Gb/s for the line rate, bare
+// bytes for the frame overhead.
+var costCell = regexp.MustCompile(`([0-9]+(?:\.[0-9]+)?)\s*(ns|Gb/s|B)\b`)
+
+// costName extracts the backticked constant or helper name that opens a
+// COSTMODEL.md table row.
+var costName = regexp.MustCompile("`([A-Za-z][A-Za-z0-9_]*(?:\\([a-z]*\\))?)`")
+
+// lintCostModel cross-checks every constant quoted in COSTMODEL.md's
+// tables against the parsed Default() cost model: each documented value
+// must equal the code's, the derived Table 2 anchors must match their
+// formulas, and every model field must appear in the document. Nothing
+// to do when the tree carries no COSTMODEL.md.
+func lintCostModel(root string) ([]string, error) {
+	docPath := filepath.Join(root, costModelDoc)
+	data, err := os.ReadFile(docPath)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	vals, err := parseCostDefaults(filepath.Join(root, costModelSource))
+	if err != nil {
+		return nil, err
+	}
+	// The document also quotes the derived helpers; their truth is the
+	// same formulas the CostModel methods compute (NICWireTime at the
+	// 64-byte frame size the table uses).
+	derived := map[string]float64{
+		"ELISARoundTrip()":  4*vals["VMFunc"] + 2*vals["GateCode"] + 6*vals["Instruction"],
+		"VMCallRoundTrip()": vals["VMExit"] + vals["VMEntry"] + vals["HypercallDispatch"],
+		"CopyCost(n)":       vals["CacheLine"],
+		"NICWireTime(size)": (64 + vals["NICFrameOverhead"]) * 8 * 1e9 / vals["NICLineRateBps"],
+	}
+	var findings []string
+	seen := map[string]bool{}
+	valueCol := -1
+	for i, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if !strings.HasPrefix(trimmed, "|") {
+			continue
+		}
+		cells := strings.Split(strings.Trim(trimmed, "|"), "|")
+		for j := range cells {
+			cells[j] = strings.TrimSpace(cells[j])
+		}
+		if header := indexOf(cells, "Value"); header >= 0 {
+			valueCol = header
+			continue
+		}
+		if valueCol < 0 || len(cells) <= valueCol || len(cells) == 0 {
+			continue
+		}
+		m := costName.FindStringSubmatch(cells[0])
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		want, isConst := vals[name]
+		if !isConst {
+			var isDerived bool
+			if want, isDerived = derived[name]; !isDerived {
+				continue
+			}
+		}
+		seen[name] = true
+		cm := costCell.FindStringSubmatch(strings.ReplaceAll(cells[valueCol], "*", ""))
+		if cm == nil {
+			findings = append(findings, fmt.Sprintf("%s:%d: %s row has no parseable value %q",
+				costModelDoc, i+1, name, cells[valueCol]))
+			continue
+		}
+		got, _ := strconv.ParseFloat(cm[1], 64)
+		if cm[2] == "Gb/s" {
+			got *= 1e9
+		}
+		if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+			findings = append(findings, fmt.Sprintf("%s:%d: %s documented as %s %s but %s says %v",
+				costModelDoc, i+1, name, cm[1], cm[2], costModelSource, want))
+		}
+	}
+	for name := range vals {
+		if !seen[name] {
+			findings = append(findings, fmt.Sprintf("%s: model constant %s (%s) missing from the constant tables",
+				costModelDoc, name, costModelSource))
+		}
+	}
+	for name := range derived {
+		if !seen[name] {
+			findings = append(findings, fmt.Sprintf("%s: derived helper %s missing from the constant tables",
+				costModelDoc, name))
+		}
+	}
+	return findings, nil
+}
+
+// indexOf returns the index of want in cells, or -1.
+func indexOf(cells []string, want string) int {
+	for i, c := range cells {
+		if c == want {
+			return i
+		}
+	}
+	return -1
 }
 
 // mdLink matches inline markdown links and images. Reference-style

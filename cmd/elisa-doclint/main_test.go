@@ -49,6 +49,87 @@ func TestAnchorSetFencesAndDuplicates(t *testing.T) {
 	}
 }
 
+// TestLintCostModelDrift builds a miniature tree with a two-constant
+// model and checks the three drift modes: clean, a documented value that
+// disagrees with Default(), and a model constant the document omits.
+func TestLintCostModelDrift(t *testing.T) {
+	source := `package simtime
+type CostModel struct{ VMExit, VMEntry, VMFunc, GateCode, Instruction, CacheLine, HypercallDispatch, NICFrameOverhead, NICLineRateBps Duration }
+type Duration int64
+// Default returns the test model.
+func Default() CostModel {
+	return CostModel{VMExit: 380, VMEntry: 294, VMFunc: 40, GateCode: 15, Instruction: 1, CacheLine: 1, HypercallDispatch: 25, NICFrameOverhead: 20, NICLineRateBps: 10_000_000_000}
+}
+`
+	doc := "# Cost model\n\n" +
+		"| Helper | Formula | Value | Used by |\n|---|---|---|---|\n" +
+		"| `ELISARoundTrip()` | 4·VMFunc + 2·GateCode + 6·Instruction | **196 ns** | tests |\n" +
+		"| `VMCallRoundTrip()` | exit + entry + dispatch | **699 ns** | tests |\n" +
+		"| `CopyCost(n)` | per line | 1 ns / 64 B line | copies |\n" +
+		"| `NICWireTime(size)` | wire | 67.2 ns at 64 B | nets |\n\n" +
+		"| Constant | Value | Models | Charged at |\n|---|---|---|---|\n" +
+		"| `VMExit` | 380 ns | exit | cpu |\n" +
+		"| `VMEntry` | 294 ns | entry | cpu |\n" +
+		"| `VMFunc` | 40 ns | switch | cpu |\n" +
+		"| `GateCode` | 15 ns | gate | core |\n" +
+		"| `Instruction` | 1 ns | alu | cpu |\n" +
+		"| `CacheLine` | 1 ns | line | cpu |\n" +
+		"| `HypercallDispatch` | 25 ns | dispatch | hv |\n" +
+		"| `NICFrameOverhead` | 20 B | overhead | vnet |\n" +
+		"| `NICLineRateBps` | 10 Gb/s | wire | vnet |\n"
+	build := func(src, md string) string {
+		dir := t.TempDir()
+		if err := os.MkdirAll(filepath.Join(dir, "internal", "simtime"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "internal", "simtime", "cost.go"), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "COSTMODEL.md"), []byte(md), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	if findings, err := lintCostModel(build(source, doc)); err != nil || len(findings) != 0 {
+		t.Fatalf("clean tree: findings %v, err %v", findings, err)
+	}
+
+	drifted := strings.Replace(source, "VMExit: 380", "VMExit: 400", 1)
+	findings, err := lintCostModel(build(drifted, doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// VMExit itself plus the derived VMCallRoundTrip anchor both move.
+	if len(findings) != 2 {
+		t.Fatalf("drifted tree: got %d findings, want 2: %v", len(findings), findings)
+	}
+	for _, w := range []string{"VMExit documented as 380 ns", "VMCallRoundTrip() documented as 699 ns"} {
+		found := false
+		for _, f := range findings {
+			if strings.Contains(f, w) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no finding containing %q in %v", w, findings)
+		}
+	}
+
+	missing := strings.Replace(doc, "| `GateCode` | 15 ns | gate | core |\n", "", 1)
+	findings, err = lintCostModel(build(source, missing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], "GateCode") {
+		t.Fatalf("omitted constant: got %v, want one GateCode finding", findings)
+	}
+
+	if findings, err := lintCostModel(t.TempDir()); err != nil || findings != nil {
+		t.Fatalf("tree without COSTMODEL.md: findings %v, err %v", findings, err)
+	}
+}
+
 func TestLintMarkdownLinksAnchors(t *testing.T) {
 	dir := t.TempDir()
 	write := func(name, body string) {

@@ -173,8 +173,8 @@ func renderShardFrame(out io.Writer, c *elisa.Cluster, frame int, interval simti
 			stats.Throughput(int64(dRemaps), interval))
 		prevCalls[ss.ID], prevRemaps[ss.ID] = ss.Calls, ss.Remaps
 	}
-	tb.AddNote("one row per manager shard; GOODPUT/S is routed calls per simulated second this frame, OCC the backed/budget EPTP-slot ratio, REMAP/S the HCSlotFault re-bind rate; imbalance %.2f, %d objects, %d rebalances",
-		st.Imbalance, st.Objects, st.Moves)
+	tb.AddNote("one row per manager shard; GOODPUT/S is routed calls per simulated second this frame, OCC the backed/budget EPTP-slot ratio, REMAP/S the HCSlotFault re-bind rate; imbalance %.2f, %d objects, %d object moves, %d tenant rebalances",
+		st.Imbalance, st.Objects, st.Moves, st.Rebalances)
 	fmt.Fprint(out, tb.String())
 	fmt.Fprintln(out)
 }

@@ -75,9 +75,11 @@ type Cluster struct {
 	ring   *PlacementRing
 	shards []*Shard
 
-	objects map[string]int // object name -> owning shard
-	moves   uint64         // MoveObject rebalances performed
-	fleets  []*Fleet       // for per-shard goodput in Stats
+	objects    map[string]int // object name -> owning shard
+	moves      uint64         // MoveObject rebalances performed
+	rebalances uint64         // tenant migrations the auto-rebalancer executed
+	muxSeq     uint64         // RingMux instances created (trace-base branding)
+	fleets     []*Fleet       // for per-shard goodput in Stats
 }
 
 // New boots a cluster: Config.Shards independent machines plus the
@@ -273,6 +275,10 @@ type Stats struct {
 	// rebalances performed.
 	Objects int
 	Moves   uint64
+	// Rebalances counts tenant migrations the auto-rebalancer executed
+	// (each is one or more Moves plus a fleet Evict/Adopt; see
+	// RebalanceConfig). 0 when no rebalancer is armed.
+	Rebalances uint64
 	// Imbalance is the max/mean ratio of per-shard load — calls when any
 	// shard has calls, placed objects otherwise; 0 when the cluster is
 	// empty, 1.0 when perfectly balanced.
@@ -282,7 +288,7 @@ type Stats struct {
 // Stats snapshots every shard's live accounting plus the cluster-wide
 // imbalance ratio.
 func (c *Cluster) Stats() Stats {
-	st := Stats{Objects: len(c.objects), Moves: c.moves}
+	st := Stats{Objects: len(c.objects), Moves: c.moves, Rebalances: c.rebalances}
 	perShardObjects := make([]int, len(c.shards))
 	for _, s := range c.objects {
 		perShardObjects[s]++

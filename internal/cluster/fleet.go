@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/elisa-go/elisa/internal/fleet"
+	"github.com/elisa-go/elisa/internal/overload"
 	"github.com/elisa-go/elisa/internal/simtime"
 	"github.com/elisa-go/elisa/internal/workload"
 )
@@ -33,6 +34,23 @@ type FleetConfig struct {
 	// Fault plans are per failure domain: one shard's injector, poller,
 	// and recovery sweep cannot corrupt another shard's machine.
 	FaultShard int
+
+	// Rebalance, when non-nil, arms the load-driven auto-rebalancer: a
+	// controller that runs between scheduling windows, watches per-shard
+	// demand, and migrates tenants off overloaded shards through
+	// Evict → MoveObject → Adopt (see RebalanceConfig). Nil keeps
+	// placement static and every run bit-identical to the unarmed fleet.
+	Rebalance *RebalanceConfig
+
+	// GlobalAdmitOPS, when non-empty, caps the named tenants' aggregate
+	// arrival rate cluster-wide (ops per simulated second) with one
+	// token bucket per tenant, consulted before every per-shard gate.
+	// The bucket follows the tenant across migrations — it is keyed by
+	// name, not placement — so a tenant cannot mint fresh admission
+	// capacity by moving. Tenants absent from the map are uncapped.
+	GlobalAdmitOPS map[string]float64
+	// GlobalAdmitBurst is the global buckets' burst (default 16).
+	GlobalAdmitBurst int
 }
 
 // Fleet schedules tenants across a cluster: one fleet.Scheduler per
@@ -45,8 +63,21 @@ type Fleet struct {
 
 	scheds      []*fleet.Scheduler // indexed by shard; nil until a tenant lands there
 	admissions  []admission        // global admission order
+	names       []string           // tenant names, parallel to admissions
 	tenantShard map[string]int     // tenant name -> owning shard (trace replay routing)
 	elapsed     simtime.Duration
+
+	// rebalancer support: each tenant's working set and how many tenants
+	// use each object (only exclusively-owned sets may migrate).
+	tenantObjects map[string][]string
+	objUse        map[string]int
+	reb           *Rebalancer
+
+	// global admission: per-tenant cluster-wide token buckets, and the
+	// absolute-time base of the scheduling window currently running (the
+	// schedulers hand the GlobalAdmit hook window-relative times).
+	global  map[string]*overload.TokenBucket
+	winBase simtime.Duration
 }
 
 // admission remembers where the i-th admitted tenant landed, so merged
@@ -68,10 +99,47 @@ func (c *Cluster) NewFleet(cfg FleetConfig) (*Fleet, error) {
 		}
 		cfg.Slice = 4 * q
 	}
-	f := &Fleet{c: c, cfg: cfg, scheds: make([]*fleet.Scheduler, len(c.shards)), tenantShard: make(map[string]int)}
+	f := &Fleet{
+		c:             c,
+		cfg:           cfg,
+		scheds:        make([]*fleet.Scheduler, len(c.shards)),
+		tenantShard:   make(map[string]int),
+		tenantObjects: make(map[string][]string),
+		objUse:        make(map[string]int),
+	}
+	if len(cfg.GlobalAdmitOPS) > 0 {
+		burst := cfg.GlobalAdmitBurst
+		if burst <= 0 {
+			burst = 16
+		}
+		f.global = make(map[string]*overload.TokenBucket, len(cfg.GlobalAdmitOPS))
+		for name, rate := range cfg.GlobalAdmitOPS {
+			if rate > 0 {
+				f.global[name] = overload.NewTokenBucket(rate, burst)
+			}
+		}
+		// Installed into the per-shard fleet.Config before any scheduler
+		// exists, so every shard shares the same buckets. The hook
+		// translates the scheduler's window-relative clock to fleet time,
+		// so refill tracks the cluster-wide virtual-time frontier.
+		f.cfg.Config.GlobalAdmit = func(now simtime.Time, tenant string, class int) bool {
+			b := f.global[tenant]
+			if b == nil {
+				return true
+			}
+			return b.Allow(now.Add(f.winBase))
+		}
+	}
+	if cfg.Rebalance != nil {
+		f.reb = newRebalancer(f, *cfg.Rebalance)
+	}
 	c.fleets = append(c.fleets, f)
 	return f, nil
 }
+
+// Rebalancer exposes the armed auto-rebalancer (nil when
+// FleetConfig.Rebalance was not set).
+func (f *Fleet) Rebalancer() *Rebalancer { return f.reb }
 
 // schedOn returns (creating on first use) the shard's scheduler. The
 // fault plan arms only on FaultShard — every other shard gets a plain
@@ -122,7 +190,12 @@ func (f *Fleet) Admit(spec fleet.TenantSpec) (int, error) {
 		return 0, err
 	}
 	f.admissions = append(f.admissions, admission{shard: shard, idx: idx})
+	f.names = append(f.names, spec.Name)
 	f.tenantShard[spec.Name] = shard
+	f.tenantObjects[spec.Name] = append([]string(nil), spec.Objects...)
+	for _, obj := range spec.Objects {
+		f.objUse[obj]++
+	}
 	return shard, nil
 }
 
@@ -139,12 +212,14 @@ func (f *Fleet) Run(d simtime.Duration) (*fleet.Report, error) {
 	if len(f.admissions) == 0 {
 		return nil, fmt.Errorf("cluster: fleet has no tenants")
 	}
+	base := f.elapsed
 	var done simtime.Duration
 	for done < d {
 		step := f.cfg.Slice
 		if rem := d - done; rem < step {
 			step = rem
 		}
+		f.winBase = base + done
 		for _, s := range f.scheds {
 			if s == nil {
 				continue // fleet.Run errors on zero tenants; empty shards sit out
@@ -154,6 +229,14 @@ func (f *Fleet) Run(d simtime.Duration) (*fleet.Report, error) {
 			}
 		}
 		done += step
+		// The controller runs between windows, when every shard is
+		// quiescent and the rings are drained — the only point where a
+		// migration is race-free and deterministic.
+		if f.reb != nil {
+			if err := f.reb.tick(base + done); err != nil {
+				return nil, err
+			}
+		}
 	}
 	f.elapsed += d
 	return f.Snapshot(), nil
@@ -178,45 +261,50 @@ func (f *Fleet) Replay(tr *workload.Trace, d simtime.Duration) (*fleet.Report, e
 	if tr == nil {
 		return nil, fmt.Errorf("cluster: fleet replay needs a trace")
 	}
-	perShard := make([][]workload.Event, len(f.scheds))
 	for i, ev := range tr.Events {
-		shard, ok := f.tenantShard[ev.Tenant]
-		if !ok {
+		if _, ok := f.tenantShard[ev.Tenant]; !ok {
 			return nil, fmt.Errorf("cluster: replay event %d names unadmitted tenant %q", i, ev.Tenant)
 		}
 		if ev.At < 0 || simtime.Duration(ev.At) >= d {
 			return nil, fmt.Errorf("cluster: replay event %d at %d outside window [0,%d)", i, ev.At, d)
 		}
-		perShard[shard] = append(perShard[shard], ev)
 	}
-	next := make([]int, len(f.scheds)) // per-shard cursor into perShard
+	base := f.elapsed
+	next := 0 // global cursor into the time-ordered trace
 	var done simtime.Duration
 	for done < d {
 		step := f.cfg.Slice
 		if rem := d - done; rem < step {
 			step = rem
 		}
+		// Bucket this window's events by each tenant's *current* shard —
+		// placement can change between windows when the rebalancer is
+		// armed, and an event must land where its tenant lives now. With
+		// static placement the buckets are identical to routing the whole
+		// trace up front, keeping unarmed replays bit-identical.
+		perShard := make([][]workload.Event, len(f.scheds))
+		for next < len(tr.Events) && simtime.Duration(tr.Events[next].At) < done+step {
+			ev := tr.Events[next]
+			ev.At -= simtime.Time(done) // shift to window-relative time
+			shard := f.tenantShard[ev.Tenant]
+			perShard[shard] = append(perShard[shard], ev)
+			next++
+		}
+		f.winBase = base + done
 		for shard, s := range f.scheds {
 			if s == nil {
 				continue // empty shards sit out, as in Run
 			}
-			evs := perShard[shard]
-			start := next[shard]
-			end := start
-			for end < len(evs) && simtime.Duration(evs[end].At) < done+step {
-				end++
-			}
-			window := make([]workload.Event, end-start)
-			for j, ev := range evs[start:end] {
-				ev.At -= simtime.Time(done) // shift to window-relative time
-				window[j] = ev
-			}
-			next[shard] = end
-			if _, err := s.Replay(window, step); err != nil {
+			if _, err := s.Replay(perShard[shard], step); err != nil {
 				return nil, err
 			}
 		}
 		done += step
+		if f.reb != nil {
+			if err := f.reb.tick(base + done); err != nil {
+				return nil, err
+			}
+		}
 	}
 	f.elapsed += d
 	return f.Snapshot(), nil

@@ -1,0 +1,47 @@
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/elisa-go/elisa/internal/core"
+)
+
+// RingMux builds one Submit/Poll surface over a working set that spans
+// shards: lane i drives objects[i]'s ring on whatever shard owns it, so
+// a guest touching S shards no longer juggles S submit/poll surfaces.
+// Causal trace IDs are mux-minted (branded per mux, deterministic per
+// creation order) and survive re-routing; CompBusy retry semantics are
+// each lane's own, configured by cfg.Retry.
+//
+// The mux survives a mid-batch MoveObject: when a lane's ring dies under
+// in-flight descriptors, the mux re-attaches the lane's object — the
+// attach path re-resolves the owning shard, so it lands on the move's
+// destination — negotiates a fresh ring there, re-submits the failed
+// descriptors with their original traces, and keeps going. Descriptors
+// that cannot be re-routed complete as CompErr; nothing is ever
+// stranded.
+func (g *Guest) RingMux(cfg core.RingConfig, objects ...string) (*core.RingMux, error) {
+	if len(objects) == 0 {
+		return nil, fmt.Errorf("cluster: RingMux needs at least one object")
+	}
+	lane := func(i int) (*core.RingCaller, error) {
+		h, err := g.Attach(objects[i])
+		if err != nil {
+			return nil, err
+		}
+		return h.Ring(cfg)
+	}
+	lanes := make([]*core.RingCaller, len(objects))
+	for i := range objects {
+		rc, err := lane(i)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: guest %q mux lane %q: %w", g.name, objects[i], err)
+		}
+		lanes[i] = rc
+	}
+	g.c.muxSeq++
+	return core.NewRingMux(core.RingMuxConfig{
+		TraceBase: core.DefaultMuxTraceBase | g.c.muxSeq<<32,
+		Reroute:   lane,
+	}, lanes...)
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/elisa-go/elisa/internal/core"
+	"github.com/elisa-go/elisa/internal/shm"
+)
+
+// fnMuxAdd increments the object's first 8 bytes by Args[0] and returns
+// the new value — the counter rides the object's bytes, so a completion
+// that continues the count after a MoveObject proves the re-routed
+// descriptor executed on the destination shard against the moved data.
+const fnMuxAdd = 7
+
+// TestClusterRingMuxMoveObjectMidBatch is the cross-shard fan-out
+// acceptance: a guest drives two objects on two shards through one
+// RingMux, MoveObject yanks one object to the other shard with a full
+// batch queued, and every submission must still complete OK — re-routed
+// to the destination, original traces, exactly once, counter intact.
+func TestClusterRingMuxMoveObjectMidBatch(t *testing.T) {
+	const queued = 6
+	run := func() (string, uint64) {
+		c := newTestCluster(t, 2, 5)
+		if err := c.RegisterFunc(fnMuxAdd, func(cc *core.CallContext) (uint64, error) {
+			v, err := cc.ObjectU64(0)
+			if err != nil {
+				return 0, err
+			}
+			v += cc.Args[0]
+			return v, cc.SetObjectU64(0, v)
+		}); err != nil {
+			t.Fatalf("RegisterFunc: %v", err)
+		}
+		for i := 0; i < 2; i++ {
+			name := []string{"mux-a", "mux-b"}[i]
+			if err := c.Ring().Pin(name, i); err != nil {
+				t.Fatalf("Pin: %v", err)
+			}
+			if _, err := c.CreateObject(name, 4096); err != nil {
+				t.Fatalf("CreateObject: %v", err)
+			}
+		}
+		g, err := c.NewGuest("tenant", 16*4096)
+		if err != nil {
+			t.Fatalf("NewGuest: %v", err)
+		}
+		mx, err := g.RingMux(core.RingConfig{Depth: 16, Deadline: 1_000_000_000}, "mux-a", "mux-b")
+		if err != nil {
+			t.Fatalf("RingMux: %v", err)
+		}
+		oldLane0 := mx.Lane(0)
+		// Queue a full batch on both lanes (far deadline: nothing flushes).
+		// Lane 0 counts by 1, lane 1 by 100, so completions attribute.
+		want := map[uint64]bool{}
+		for i := 0; i < queued; i++ {
+			if err := mx.Submit(0, fnMuxAdd, 1); err != nil {
+				t.Fatalf("Submit lane 0: %v", err)
+			}
+			if err := mx.Submit(1, fnMuxAdd, 100); err != nil {
+				t.Fatalf("Submit lane 1: %v", err)
+			}
+		}
+		// Move lane 0's object to shard 1 with the whole batch in flight:
+		// the source attachment is revoked, its queued descriptors fail
+		// administratively, and the mux must re-route them.
+		if err := c.MoveObject("mux-a", 1); err != nil {
+			t.Fatalf("MoveObject: %v", err)
+		}
+		var comps [4 * 16]shm.Comp
+		var got []shm.Comp
+		for len(got) < 2*queued {
+			if err := mx.Flush(); err != nil {
+				t.Fatalf("Flush: %v", err)
+			}
+			n, err := mx.Poll(comps[:])
+			if err != nil {
+				t.Fatalf("Poll: %v", err)
+			}
+			if n == 0 {
+				t.Fatalf("mux went dry at %d of %d completions — stranded descriptors", len(got), 2*queued)
+			}
+			got = append(got, comps[:n]...)
+		}
+		var lane0Max, lane1Max uint64
+		for _, cm := range got {
+			if cm.Status != shm.CompOK {
+				t.Errorf("trace %#x status %d across MoveObject, want CompOK", cm.Trace, cm.Status)
+			}
+			if cm.Trace&core.DefaultMuxTraceBase == 0 {
+				t.Errorf("completion trace %#x not mux-minted", cm.Trace)
+			}
+			if want[cm.Trace] {
+				t.Errorf("trace %#x delivered twice", cm.Trace)
+			}
+			want[cm.Trace] = true
+			if cm.Ret >= 100 {
+				if cm.Ret > lane1Max {
+					lane1Max = cm.Ret
+				}
+			} else if cm.Ret > lane0Max {
+				lane0Max = cm.Ret
+			}
+		}
+		if lane0Max != queued || lane1Max != queued*100 {
+			t.Errorf("lane counters reached (%d, %d), want (%d, %d)", lane0Max, lane1Max, queued, queued*100)
+		}
+		if mx.Rerouted() != queued {
+			t.Errorf("rerouted %d descriptors, want the dead lane's %d", mx.Rerouted(), queued)
+		}
+		if mx.Lane(0) == oldLane0 {
+			t.Error("lane 0 still points at the source shard's dead ring")
+		}
+		if mx.Pending() != 0 {
+			t.Errorf("pending = %d after the batch drained", mx.Pending())
+		}
+		// The re-routed batch ran against the moved bytes on shard 1.
+		obj, ok := c.Shard(1).Manager().Object("mux-a")
+		if !ok {
+			t.Fatal("mux-a missing on destination shard")
+		}
+		buf := make([]byte, 8)
+		if err := obj.Region().Read(nil, 0, buf); err != nil {
+			t.Fatalf("read moved counter: %v", err)
+		}
+		var counter uint64
+		for i := 7; i >= 0; i-- {
+			counter = counter<<8 | uint64(buf[i])
+		}
+		if counter != queued {
+			t.Errorf("destination counter %d, want %d (re-routes did not land on the moved object)", counter, queued)
+		}
+		return c.Describe(), uint64(g.Elapsed())
+	}
+	d1, e1 := run()
+	d2, e2 := run()
+	if d1 != d2 || e1 != e2 {
+		t.Errorf("same-seed mux-over-move runs diverged:\n%s (elapsed %d)\nvs\n%s (elapsed %d)", d1, e1, d2, e2)
+	}
+}

@@ -163,7 +163,16 @@ func (h *Handle) ensureBacked(v *cpu.VCPU) (int, error) {
 // Attach runs as guest code on the VM's vCPU.
 func (g *Guest) Attach(objName string) (*Handle, error) {
 	if h, ok := g.handles[objName]; ok && !h.detached {
-		return h, nil
+		if _, live := g.mgr.Attachment(g.vm, objName); live {
+			return h, nil
+		}
+		// The cached binding was revoked out from under us. Drop it and
+		// fall through to a fresh negotiation — the manager treats a
+		// revoked attachment as absent, so re-attach is an ordinary
+		// HCAttach (and may well be granted again: revocation withdraws
+		// a binding, not the right to ask).
+		h.detached = true
+		delete(g.handles, objName)
 	}
 	if len(objName) == 0 || len(objName) > 256 {
 		return nil, fmt.Errorf("core: object name length %d out of range", len(objName))

@@ -373,31 +373,44 @@ func (rc *RingCaller) Pending() int { return rc.inFlight }
 //
 // Results arrive in submission order via Poll.
 func (rc *RingCaller) Submit(v *cpu.VCPU, fnID uint64, args ...uint64) error {
-	if v != rc.h.g.vm.VCPU() {
-		return fmt.Errorf("core: Submit on foreign vCPU")
-	}
 	if len(args) > 4 {
 		return fmt.Errorf("core: Submit takes at most 4 args, got %d", len(args))
 	}
 	var d shm.Desc
 	d.Fn = fnID
 	copy(d.Args[:], args)
-	rc.traceSeq++
-	d.Trace = rc.traceBase | rc.traceSeq&0xffffffff
+	_, err := rc.SubmitDesc(v, d)
+	return err
+}
+
+// SubmitDesc enqueues one pre-built descriptor with the same adaptive
+// flush policy as Submit. A zero d.Trace mints this caller's own causal
+// trace ID; a non-zero one is preserved verbatim — that is how the
+// RingMux keeps one causal chain across a re-route: the descriptor it
+// re-submits on a replacement ring carries the trace it was born with.
+// Returns the trace the descriptor went out under.
+func (rc *RingCaller) SubmitDesc(v *cpu.VCPU, d shm.Desc) (uint64, error) {
+	if v != rc.h.g.vm.VCPU() {
+		return 0, fmt.Errorf("core: Submit on foreign vCPU")
+	}
+	if d.Trace == 0 {
+		rc.traceSeq++
+		d.Trace = rc.traceBase | rc.traceSeq&0xffffffff
+	}
 	ok, err := rc.ring.PushDesc(d)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if !ok {
 		// Queue full (the poller has not kept up): flush the backlog
 		// through the gate, then retry the push on the now-empty queue.
 		if err := rc.Flush(v); err != nil {
-			return err
+			return 0, err
 		}
 		if ok, err = rc.ring.PushDesc(d); err != nil {
-			return err
+			return 0, err
 		} else if !ok {
-			return fmt.Errorf("core: ring %q/%q still full after flush", rc.h.g.vm.Name(), rc.h.objName)
+			return 0, fmt.Errorf("core: ring %q/%q still full after flush", rc.h.g.vm.Name(), rc.h.objName)
 		}
 	}
 	if rec := rc.h.g.mgr.rec; rec != nil {
@@ -408,7 +421,7 @@ func (rc *RingCaller) Submit(v *cpu.VCPU, fnID uint64, args ...uint64) error {
 		// Empty -> non-empty: doorbell for the poller, deadline clock for
 		// the flush policy.
 		if err := rc.ring.Kick(); err != nil {
-			return err
+			return 0, err
 		}
 		rc.firstPending = v.Clock().Now()
 	}
@@ -418,24 +431,24 @@ func (rc *RingCaller) Submit(v *cpu.VCPU, fnID uint64, args ...uint64) error {
 		rc.retryQ = append(rc.retryQ, retryEntry{d: d})
 	}
 	if rc.cfg.Deadline == 0 {
-		return rc.Flush(v)
+		return d.Trace, rc.Flush(v)
 	}
 	now := v.Clock().Now()
 	deadlineHit := now.Sub(rc.firstPending) >= rc.cfg.Deadline
 	depthHit := rc.pending >= rc.cfg.Depth
 	if !deadlineHit && !depthHit {
-		return nil
+		return d.Trace, nil
 	}
 	// Before paying a 196 ns crossing, reconcile with the real queue: the
 	// manager poller may have drained behind our back, leaving rc.pending
 	// and rc.firstPending stale. One exit-less cursor read settles it.
 	queued, err := rc.ring.ProducerPending()
 	if err != nil {
-		return err
+		return d.Trace, err
 	}
 	rc.pending = queued
 	if queued >= rc.cfg.Depth {
-		return rc.Flush(v) // genuinely full: flush regardless of deadline
+		return d.Trace, rc.Flush(v) // genuinely full: flush regardless of deadline
 	}
 	if queued <= 1 {
 		// The poller won the race: everything older than this submit is
@@ -443,12 +456,12 @@ func (rc *RingCaller) Submit(v *cpu.VCPU, fnID uint64, args ...uint64) error {
 		// spurious one-descriptor flush. Restart the batching window at
 		// this — now oldest — descriptor.
 		rc.firstPending = now
-		return nil
+		return d.Trace, nil
 	}
 	if deadlineHit {
-		return rc.Flush(v)
+		return d.Trace, rc.Flush(v)
 	}
-	return nil
+	return d.Trace, nil
 }
 
 // Flush takes one gate crossing and services every queued descriptor
@@ -657,6 +670,13 @@ func (rc *RingCaller) Flush(v *cpu.VCPU) error {
 func (rc *RingCaller) Poll(v *cpu.VCPU, out []shm.Comp) (int, error) {
 	if v != rc.h.g.vm.VCPU() {
 		return 0, fmt.Errorf("core: Poll on foreign vCPU")
+	}
+	if rc.rs.dead.Load() {
+		// The attachment died (revoke, detach, MoveObject). failRing
+		// stops administratively failing descriptors when the completion
+		// queue fills; every Poll frees completion slots, so sweep the
+		// residue now — a dead ring never strands a descriptor.
+		rc.sweepDeadRing()
 	}
 	retrying := rc.cfg.Retry.enabled()
 	rec := rc.h.g.mgr.rec
@@ -1069,26 +1089,38 @@ func (m *Manager) failRing(a *Attachment, rs *ringState) {
 	defer m.pollMu.Unlock()
 	rs.drainMu.Lock()
 	defer rs.drainMu.Unlock()
-	txn, err := rs.host.BeginDrain()
-	if err != nil {
-		return
-	}
-	for txn.CQFree() > 0 {
-		d, ok, err := txn.PopDesc()
-		if err != nil || !ok {
-			break
-		}
-		if ok, err := txn.PushComp(shm.Comp{Status: shm.CompErr, Trace: d.Trace}); err != nil || !ok {
-			break
-		}
+	_, _ = rs.host.FailPending(shm.CompErr, func(d shm.Desc) {
 		if m.rec != nil {
 			m.rec.Causal().Event(obs.RingEvent{Trace: d.Trace, Kind: obs.EvFail,
 				Time: m.vm.VCPU().Clock().Now(), Guest: a.guest.Name(), Object: a.obj.name,
 				Fn: d.Fn, Note: "ring-failed"})
 		}
 		rs.failed.Add(1)
-	}
-	_ = txn.Close()
+	})
+}
+
+// sweepDeadRing finishes failRing's job from the guest side: once the
+// guest has polled completions away, administratively complete whatever
+// descriptors are still queued on this dead ring with CompErr. The sweep
+// runs through the nil-clock ring view — failing an already-dead ring is
+// cleanup, and cleanup (like observation) charges no simulated time.
+// Lock order: pollMu > drainMu, taken with neither held (Poll holds no
+// locks).
+func (rc *RingCaller) sweepDeadRing() {
+	m := rc.h.g.mgr
+	rs := rc.rs
+	m.pollMu.Lock()
+	defer m.pollMu.Unlock()
+	rs.drainMu.Lock()
+	defer rs.drainMu.Unlock()
+	_, _ = rs.free.FailPending(shm.CompErr, func(d shm.Desc) {
+		if m.rec != nil {
+			m.rec.Causal().Event(obs.RingEvent{Trace: d.Trace, Kind: obs.EvFail,
+				Time: rc.h.g.vm.VCPU().Clock().Now(), Guest: rc.h.g.vm.Name(), Object: rc.h.objName,
+				Fn: d.Fn, Note: "ring-failed-sweep"})
+		}
+		rs.failed.Add(1)
+	})
 }
 
 // releaseRings frees ring backing memory post-mortem. It takes pollMu so

@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig_memcached",
 		"ablation_batch", "ablation_callmulti", "ablation_contexts", "ablation_negotiation", "ablation_tlb",
 		"ext_consolidation", "ext_fault_recovery", "ext_fleet_scaling", "ext_hugepages", "ext_memory",
-		"ext_overload", "ext_ring_batching", "ext_sharding", "ext_workload",
+		"ext_overload", "ext_rebalance", "ext_ring_batching", "ext_sharding", "ext_workload",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

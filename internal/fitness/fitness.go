@@ -194,7 +194,10 @@ func Counterfactual(rep *fleet.Report, d *overload.DecisionTrace, spec string, k
 	}
 	var out []What
 	for _, c := range d.Counts() {
-		if c.Key.Verdict == overload.VerdictAdmit || c.Count == 0 {
+		// Only refusal verdicts have a counterfactual: admits already
+		// completed, and rebalance entries are placement moves, not
+		// refused work.
+		if c.Key.Verdict == overload.VerdictAdmit || c.Key.Verdict == overload.VerdictRebalance || c.Count == 0 {
 			continue
 		}
 		alt := *rep

@@ -118,6 +118,15 @@ type Config struct {
 	// post-run fitness and counterfactual analysis (internal/fitness).
 	// Recording is observation only: arming it changes no decision.
 	Decisions *overload.DecisionTrace
+
+	// GlobalAdmit, when non-nil, is consulted before every other gate of
+	// the refusal ladder: returning false refuses the arrival (counted as
+	// Throttled, verdict "global-bucket"). The cluster fleet installs one
+	// closure over a per-tenant cluster-wide token bucket on every
+	// shard's scheduler, capping a tenant's aggregate rate regardless of
+	// placement. The hook must be deterministic for same-seed runs; nil
+	// (the default) keeps the ladder bit-identical to the unhooked fleet.
+	GlobalAdmit func(now simtime.Time, tenant string, class int) bool
 }
 
 // TenantSpec describes one tenant to admit.
@@ -230,6 +239,12 @@ type Tenant struct {
 	recovered bool
 	lost      uint64
 
+	// migrated marks a tenant Evict carried to another scheduler. The
+	// stub stays in the admission list (keeping report indices stable for
+	// the cluster's merged-report mapping) but is never scheduled, never
+	// arrives, and reports zero counters — its accounting moved with it.
+	migrated bool
+
 	// overload control (nil / zero when the knobs are off): bucket
 	// rate-limits arrivals, breaker quarantines fault-storming tenants,
 	// prevFaults is the injector count already fed to the breaker.
@@ -248,6 +263,10 @@ func (t *Tenant) Crashed() bool { return t.crashed }
 
 // Recovered reports whether the manager reclaimed the tenant post-mortem.
 func (t *Tenant) Recovered() bool { return t.recovered }
+
+// Migrated reports whether Evict carried this tenant to another
+// scheduler, leaving this entry as an inert stub.
+func (t *Tenant) Migrated() bool { return t.migrated }
 
 // Name returns the tenant's guest name.
 func (t *Tenant) Name() string { return t.spec.Name }
@@ -487,6 +506,9 @@ func (s *Scheduler) Replay(events []workload.Event, d simtime.Duration) (*Report
 		if t == nil {
 			return nil, fmt.Errorf("fleet: replay event %d names unadmitted tenant %q", i, ev.Tenant)
 		}
+		if t.migrated {
+			return nil, fmt.Errorf("fleet: replay event %d names migrated tenant %q (route it to the adopting scheduler)", i, ev.Tenant)
+		}
 		if _, ok := t.objIdx[ev.Object]; !ok {
 			return nil, fmt.Errorf("fleet: replay event %d: tenant %q has no attachment for object %q", i, ev.Tenant, ev.Object)
 		}
@@ -532,7 +554,7 @@ func (s *Scheduler) runLocked(d simtime.Duration, replay bool, events []workload
 			}
 			var next *Tenant
 			for _, t := range s.tenants {
-				if t.crashed || t.quarantined || len(t.queue) == 0 {
+				if t.crashed || t.quarantined || t.migrated || len(t.queue) == 0 {
 					continue
 				}
 				if next == nil || t.pass < next.pass || (t.pass == next.pass && t.index < next.index) {
@@ -626,6 +648,12 @@ func (s *Scheduler) runLocked(d simtime.Duration, replay bool, events []workload
 	admit := func(t *Tenant, now simtime.Time, op pendingOp) {
 		t.submitted++
 		switch {
+		case s.cfg.GlobalAdmit != nil && !s.cfg.GlobalAdmit(now, t.spec.Name, int(t.spec.Class)):
+			// Cluster-wide cap: the outermost gate, so a globally-refused
+			// arrival consumes no per-shard bucket token.
+			t.throttled++
+			s.cfg.Decisions.Record(now, t.spec.Name, overload.VerdictThrottle, int(t.spec.Class), "global-bucket")
+			s.causalEvent(now, t.spec.Name, obs.EvThrottle, "global-bucket")
 		case t.bucket != nil && !t.bucket.Allow(now):
 			t.throttled++
 			s.cfg.Decisions.Record(now, t.spec.Name, overload.VerdictThrottle, int(t.spec.Class), "token-bucket")
@@ -690,6 +718,9 @@ func (s *Scheduler) runLocked(d simtime.Duration, replay bool, events []workload
 			}
 		}
 		for _, t := range s.tenants {
+			if t.migrated {
+				continue // a stub has no arrival process — it moved with the tenant
+			}
 			if _, err := sim.After(t.arrival.NextInterval(), arrive(t)); err != nil {
 				return nil, err
 			}
@@ -736,7 +767,7 @@ func (s *Scheduler) runLocked(d simtime.Duration, replay bool, events []workload
 func (s *Scheduler) occupancyLocked() float64 {
 	queued, alive := 0, 0
 	for _, t := range s.tenants {
-		if t.crashed {
+		if t.crashed || t.migrated {
 			continue
 		}
 		alive++
@@ -823,7 +854,7 @@ func (s *Scheduler) harvestTenant(t *Tenant, now simtime.Time) simtime.Duration 
 // bound is just a backstop.
 func (s *Scheduler) drainTenantRings(now simtime.Time) {
 	for _, t := range s.tenants {
-		if t.crashed || t.vm.Dead() {
+		if t.crashed || t.migrated || t.vm.Dead() {
 			continue
 		}
 		v := t.vm.VCPU()
@@ -871,6 +902,9 @@ func (t *Tenant) markCrashed() {
 // from Run's event loop and from Run's epilogue).
 func (s *Scheduler) sweepDead() {
 	for _, t := range s.tenants {
+		if t.migrated {
+			continue // the stub's VM idles here; the tenant lives elsewhere
+		}
 		if t.vm.Dead() && !t.crashed {
 			t.markCrashed()
 		}

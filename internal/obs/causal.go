@@ -57,6 +57,9 @@ const (
 	// EvBreaker marks a circuit-breaker quarantine refusing a tenant's
 	// request outright (trace 0).
 	EvBreaker
+	// EvRebalance marks the cluster auto-rebalancer migrating a tenant
+	// between shards (trace 0 — a placement action, not a descriptor).
+	EvRebalance
 	// NumEventKinds is the number of causal event kinds.
 	NumEventKinds
 )
@@ -88,6 +91,8 @@ func (k EventKind) String() string {
 		return "throttle"
 	case EvBreaker:
 		return "breaker"
+	case EvRebalance:
+		return "rebalance"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}

@@ -30,6 +30,11 @@ const (
 	// VerdictBusy: the op reached a ring but was bounced CompBusy with
 	// retries exhausted (drain-side backpressure, charged at harvest).
 	VerdictBusy
+	// VerdictRebalance: not a refusal — the cluster rebalancer migrated a
+	// tenant between shards. Recorded so placement decisions share the
+	// same auditable trace as admission decisions; runs without a
+	// rebalancer armed never record it, keeping their traces unchanged.
+	VerdictRebalance
 	numVerdicts
 )
 
@@ -48,6 +53,8 @@ func (v Verdict) String() string {
 		return "drop"
 	case VerdictBusy:
 		return "busy"
+	case VerdictRebalance:
+		return "rebalance"
 	default:
 		return fmt.Sprintf("verdict(%d)", uint8(v))
 	}

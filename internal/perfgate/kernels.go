@@ -12,6 +12,7 @@ import (
 	"github.com/elisa-go/elisa/internal/mem"
 	"github.com/elisa-go/elisa/internal/shm"
 	"github.com/elisa-go/elisa/internal/simtime"
+	"github.com/elisa-go/elisa/internal/workload"
 )
 
 // Kernel is one bench kernel: a deterministic simulated workload whose
@@ -343,6 +344,89 @@ func runClusterRoute(quick bool) (int64, simtime.Duration, error) {
 	return int64(singles + batches*shards), g.Elapsed() - start, nil
 }
 
+// runRebalanceConverge measures the auto-rebalancing control loop end to
+// end: the committed skewed trace (four tenants, every object pinned on
+// shard 0 of 4) replayed with the rebalancer armed, over the exit-less
+// ring datapath. Ops are completed operations; elapsed is the replay
+// horizon. The kernel errors if the controller never migrates — a bench
+// of the control plane has to exercise the control plane — and, at full
+// scale, if the final imbalance misses the convergence target.
+func runRebalanceConverge(quick bool) (int64, simtime.Duration, error) {
+	specs, err := workload.RebalanceSpecs()
+	if err != nil {
+		return 0, 0, err
+	}
+	tr, err := workload.RebalanceTrace()
+	if err != nil {
+		return 0, 0, err
+	}
+	horizon := workload.RebalanceHorizon
+	events := tr.Events
+	if quick {
+		// Half the horizon: the three migrations land by tick 3 (120 µs),
+		// so the loop is still fully exercised — only the converged tail
+		// is shorter.
+		horizon = workload.RebalanceHorizon / 2
+		cut := 0
+		for cut < len(events) && simtime.Duration(events[cut].At) < horizon {
+			cut++
+		}
+		events = events[:cut]
+	}
+	c, err := cluster.New(cluster.Config{Shards: 4, Seed: 11})
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := c.RegisterFunc(workload.RebalanceFn, func(*core.CallContext) (uint64, error) { return 0, nil }); err != nil {
+		return 0, 0, err
+	}
+	for _, sp := range specs {
+		for _, obj := range sp.Objects {
+			if err := c.Ring().Pin(obj, 0); err != nil {
+				return 0, 0, err
+			}
+			if _, err := c.CreateObject(obj, mem.PageSize); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	f, err := c.NewFleet(cluster.FleetConfig{
+		Config:    fleet.Config{Cores: 2, Seed: 42, QueueDepth: 32, RingDepth: 16},
+		Rebalance: &cluster.RebalanceConfig{},
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, sp := range specs {
+		ts, err := fleet.SpecFromWorkload(sp, 42)
+		if err != nil {
+			return 0, 0, err
+		}
+		if _, err := f.Admit(ts); err != nil {
+			return 0, 0, err
+		}
+	}
+	rep, err := f.Replay(&workload.Trace{Events: events}, horizon)
+	if err != nil {
+		return 0, 0, err
+	}
+	st := c.Stats()
+	if st.Rebalances == 0 {
+		return 0, 0, fmt.Errorf("perfgate: rebalance_converge executed no migrations")
+	}
+	if !quick && st.Imbalance > 1.25 {
+		return 0, 0, fmt.Errorf("perfgate: rebalance_converge finished at imbalance %.3f, want <= 1.25", st.Imbalance)
+	}
+	var done int64
+	for _, t := range rep.Tenants {
+		done += int64(t.Completed)
+	}
+	if done == 0 {
+		return 0, 0, fmt.Errorf("perfgate: rebalance_converge completed nothing")
+	}
+	return done, rep.Duration, nil
+}
+
 // Kernels returns the bench-kernel registry in snapshot order.
 func Kernels() []Kernel {
 	return []Kernel{
@@ -353,6 +437,7 @@ func Kernels() []Kernel {
 		{ID: "exchange_put", Title: "exchange-buffer put + consuming call", Run: runExchangePut},
 		{ID: "fleet_mix", Title: "4-tenant fleet on 2 cores over rings", Run: runFleetMix},
 		{ID: "cluster_route", Title: "routed calls + 4-shard CallMulti fan-out", Run: runClusterRoute},
+		{ID: "rebalance_converge", Title: "auto-rebalancer convergence on the committed skewed trace", Run: runRebalanceConverge},
 	}
 }
 

@@ -459,3 +459,37 @@ func (t *DrainTxn) Close() error {
 	}
 	return nil
 }
+
+// FailPending administratively completes queued descriptors with status,
+// calling each (when non-nil) per failed descriptor so callers can log
+// them. It stops when the submission queue empties or the completion
+// queue fills — in the latter case descriptors stay queued, and the
+// caller must fail again once the consumer polls completions away (see
+// the dead-ring sweep in internal/core). Consumer-side: the caller must
+// hold whatever lock serialises this ring's consumers. Returns how many
+// descriptors were completed.
+func (r *CallRing) FailPending(status uint64, each func(Desc)) (int, error) {
+	txn, err := r.BeginDrain()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for txn.CQFree() > 0 {
+		d, ok, err := txn.PopDesc()
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			break
+		}
+		// CQFree > 0 was just checked, so the push cannot refuse.
+		if ok, err := txn.PushComp(Comp{Status: status, Trace: d.Trace}); err != nil || !ok {
+			return n, err
+		}
+		if each != nil {
+			each(d)
+		}
+		n++
+	}
+	return n, txn.Close()
+}

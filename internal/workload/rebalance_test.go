@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestWorkloadRebalanceTraceGolden pins the committed rebalance trace:
+// the embedded spec rendered under (RebalanceSeed, RebalanceHorizon)
+// must reproduce testdata/rebalance_trace.csv byte for byte. Regenerate
+// with `go test ./internal/workload -run RebalanceTrace -update` after
+// an intentional generator or spec change — and expect to re-cut the
+// cluster rebalancer goldens (ext_rebalance, convergence tables) when
+// you do.
+func TestWorkloadRebalanceTraceGolden(t *testing.T) {
+	specs, err := RebalanceSpecs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Generate(specs, RebalanceSeed, RebalanceHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "rebalance_trace.csv")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("rebalance trace drifted from committed golden (%d vs %d bytes); run with -update if intentional", buf.Len(), len(want))
+	}
+	parsed, err := RebalanceTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parsed.Events, tr.Events) {
+		t.Fatal("embedded trace does not parse back to the generated events")
+	}
+	if len(parsed.Events) < 200 {
+		t.Fatalf("rebalance trace suspiciously small: %d events", len(parsed.Events))
+	}
+	// The scenario's whole point is balanced demand: every tenant must
+	// contribute within 20% of the mean.
+	perTenant := map[string]int{}
+	for _, ev := range parsed.Events {
+		perTenant[ev.Tenant]++
+	}
+	if len(perTenant) != 4 {
+		t.Fatalf("want 4 tenants, got %d", len(perTenant))
+	}
+	mean := float64(len(parsed.Events)) / 4
+	for name, n := range perTenant {
+		if f := float64(n); f < 0.8*mean || f > 1.2*mean {
+			t.Errorf("tenant %q contributed %d events, outside 20%% of mean %.0f", name, n, mean)
+		}
+	}
+}

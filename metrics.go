@@ -291,6 +291,9 @@ func collectCluster(c *cluster.Cluster) obs.Collector {
 				Type: obs.TypeGauge, Samples: []obs.Sample{{Value: st.Imbalance}}},
 			{Name: "elisa_cluster_moves_total", Help: "MoveObject rebalances performed.", Type: obs.TypeCounter,
 				Samples: []obs.Sample{{Value: float64(st.Moves)}}},
+			{Name: "elisa_cluster_rebalances_total",
+				Help: "Tenant migrations executed by the load-driven auto-rebalancer (each is one or more MoveObjects plus a fleet evict/adopt).",
+				Type: obs.TypeCounter, Samples: []obs.Sample{{Value: float64(st.Rebalances)}}},
 		}
 	}
 }

@@ -5,7 +5,8 @@
 #   1. gofmt -l must be empty (doc comments are code too);
 #   2. go vet must pass;
 #   3. elisa-doclint must pass: package + exported-symbol doc comments,
-#      markdown relative links resolve;
+#      markdown relative links resolve, and COSTMODEL.md's constant
+#      tables match internal/simtime/cost.go (no latency drift);
 #   4. every cmd/* and examples/* path the README references must build.
 #
 # Run from the repository root: ./scripts/check-docs.sh
