@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"github.com/elisa-go/elisa/internal/cpu"
@@ -49,6 +50,15 @@ func NewGuest(vm *hv.VM, mgr *Manager) (*Guest, error) {
 // VM returns the guest VM this library instance belongs to.
 func (g *Guest) VM() *hv.VM { return g.vm }
 
+// Guard errors of the fast path. They are preallocated: the checks run on
+// every Call/CallMulti, and an error value built per refusal would be the
+// only allocation on an otherwise zero-alloc path.
+var (
+	ErrForeignVCPU = errors.New("core: call on foreign vCPU")
+	ErrTooManyArgs = errors.New("core: call takes at most 4 args")
+	ErrNoRequests  = errors.New("core: CallMulti with no requests")
+)
+
 // Handle is an attached shared object: the guest's capability to call
 // manager functions on it through the gate.
 type Handle struct {
@@ -60,6 +70,21 @@ type Handle struct {
 	exchangeSize int
 	objSize      int
 	detached     bool
+
+	// ctx is the reusable CallContext of this handle's invocations. Calls
+	// on a handle are serialised by the guest's single vCPU, so steady
+	// state never allocates one; ctxBusy guards the rare reentrant case (a
+	// manager function calling back through the same handle), which falls
+	// back to a heap context.
+	ctx     CallContext
+	ctxBusy bool
+
+	// exch is the exchange-time accumulator the flight recorder reads for
+	// span phase decomposition. It lives on the handle for the same reason
+	// ctx does: taking the address of a stack local and threading it into
+	// the (heap-resident) scratch context would force a heap allocation on
+	// every recorded call.
+	exch simtime.Duration
 }
 
 // ObjectSize returns the attached object's size in bytes.
@@ -267,11 +292,21 @@ func (g *Guest) Detach(objName string) error {
 //	             VMFUNC -> default ctx                (VMFunc)
 //	default ctx: fetch gate page epilogue, return     (1 fetch)
 func (h *Handle) Call(v *cpu.VCPU, fnID uint64, args ...uint64) (uint64, error) {
-	if v != h.g.vm.VCPU() {
-		return 0, fmt.Errorf("core: Call on foreign vCPU")
-	}
 	if len(args) > 4 {
-		return 0, fmt.Errorf("core: Call takes at most 4 args, got %d", len(args))
+		return 0, ErrTooManyArgs
+	}
+	var a [4]uint64
+	copy(a[:], args)
+	return h.CallArgs(v, fnID, a)
+}
+
+// CallArgs is Call with the four register arguments fixed-arity — the
+// zero-allocation form of the fast path. Call packs its variadic slice
+// into the register array and forwards here; callers that already hold a
+// [4]uint64 (batching layers, replay engines) skip the packing.
+func (h *Handle) CallArgs(v *cpu.VCPU, fnID uint64, args [4]uint64) (uint64, error) {
+	if v != h.g.vm.VCPU() {
+		return 0, ErrForeignVCPU
 	}
 	cost := v.Cost()
 	mgr := h.g.mgr
@@ -281,11 +316,11 @@ func (h *Handle) Call(v *cpu.VCPU, fnID uint64, args ...uint64) (uint64, error) 
 	// measures. rec == nil (observability off) costs one comparison.
 	rec := mgr.rec
 	var t0, tGate, tSub, tFn simtime.Time
-	var exchange simtime.Duration
 	var exchp *simtime.Duration
 	if rec != nil {
 		t0 = v.Clock().Now()
-		exchp = &exchange
+		h.exch = 0
+		exchp = &h.exch
 	}
 
 	// Slot-table lookup: hot attachments resolve for free; a cold one
@@ -372,7 +407,7 @@ func (h *Handle) Call(v *cpu.VCPU, fnID uint64, args ...uint64) (uint64, error) 
 	}
 	mgr.noteGateExit(h.g.vm.ID())
 	if rec != nil {
-		h.recordSpan(rec, fnID, 1, fnErr != nil, t0, tGate, tSub, tFn, v.Clock().Now(), exchange)
+		h.recordSpan(rec, fnID, 1, fnErr != nil, t0, tGate, tSub, tFn, v.Clock().Now(), h.exch)
 	}
 	if fnErr != nil {
 		return ret, fnErr
@@ -450,7 +485,7 @@ func (m *Manager) gateAllowsBinding(vmID, vslot, phys int) bool {
 // when non-nil, receives the time the function spends in exchange-buffer
 // helpers (flight-recorder phase accounting). The manager lock is held
 // only for the dispatch lookups, never while the function body runs.
-func (m *Manager) invoke(v *cpu.VCPU, h *Handle, fnID uint64, args []uint64, exchange *simtime.Duration) (uint64, error) {
+func (m *Manager) invoke(v *cpu.VCPU, h *Handle, fnID uint64, args [4]uint64, exchange *simtime.Duration) (uint64, error) {
 	if err := v.FetchExec(mem.GVA(MgrCodeGPA)); err != nil {
 		return 0, err
 	}
@@ -480,13 +515,22 @@ func (m *Manager) invoke(v *cpu.VCPU, h *Handle, fnID uint64, args []uint64, exc
 		return 0, fmt.Errorf("core: attachment %q/%q vanished mid-call", h.g.vm.Name(), h.objName)
 	}
 	fn, ok := m.funcs[fnID]
-	ctx := &CallContext{
+	// Steady state reuses the handle's scratch context (calls on a handle
+	// are serialised by its guest's single vCPU); only a reentrant call —
+	// a manager function calling back through the same handle — pays the
+	// heap allocation the scratch avoids.
+	ctx := &h.ctx
+	if h.ctxBusy {
+		ctx = new(CallContext)
+	}
+	*ctx = CallContext{
 		VCPU:         v,
 		Object:       a.obj.gpa,
 		ObjectSize:   a.obj.size,
 		Exchange:     a.exchangeGPA,
 		ExchangeSize: a.exchange.Size(),
 		GuestID:      h.g.vm.ID(),
+		Args:         args,
 		exchTime:     exchange,
 	}
 	m.mu.Unlock()
@@ -495,8 +539,14 @@ func (m *Manager) invoke(v *cpu.VCPU, h *Handle, fnID uint64, args []uint64, exc
 		a.recordCall(err)
 		return 0, err
 	}
-	copy(ctx.Args[:], args)
+	scratch := ctx == &h.ctx
+	if scratch {
+		h.ctxBusy = true
+	}
 	ret, err := fn(ctx)
+	if scratch {
+		h.ctxBusy = false
+	}
 	a.recordCall(err)
 	return ret, err
 }
@@ -523,10 +573,10 @@ type Req struct {
 // only on protocol errors (foreign vCPU, refused gate, fatal fault).
 func (h *Handle) CallMulti(v *cpu.VCPU, reqs []Req) error {
 	if v != h.g.vm.VCPU() {
-		return fmt.Errorf("core: CallMulti on foreign vCPU")
+		return ErrForeignVCPU
 	}
 	if len(reqs) == 0 {
-		return fmt.Errorf("core: CallMulti with no requests")
+		return ErrNoRequests
 	}
 	cost := v.Cost()
 	mgr := h.g.mgr
@@ -535,11 +585,11 @@ func (h *Handle) CallMulti(v *cpu.VCPU, reqs []Req) error {
 	// each request's in-sub-context latency lands in its own series.
 	rec := mgr.rec
 	var t0, tGate, tSub, tFn simtime.Time
-	var exchange simtime.Duration
 	var exchp *simtime.Duration
 	if rec != nil {
 		t0 = v.Clock().Now()
-		exchp = &exchange
+		h.exch = 0
+		exchp = &h.exch
 	}
 
 	// Slot-table lookup (identical to Call): cold batches pay one slot
@@ -596,7 +646,7 @@ func (h *Handle) CallMulti(v *cpu.VCPU, reqs []Req) error {
 		if rec != nil {
 			reqStart = v.Clock().Now()
 		}
-		reqs[i].Ret, reqs[i].Err = mgr.invoke(v, h, reqs[i].Fn, reqs[i].Args[:], exchp)
+		reqs[i].Ret, reqs[i].Err = mgr.invoke(v, h, reqs[i].Fn, reqs[i].Args, exchp)
 		if v.Dead() {
 			return reqs[i].Err
 		}
@@ -632,7 +682,7 @@ func (h *Handle) CallMulti(v *cpu.VCPU, reqs []Req) error {
 	}
 	mgr.noteGateExit(h.g.vm.ID())
 	if rec != nil {
-		h.recordSpan(rec, reqs[0].Fn, len(reqs), anyErr, t0, tGate, tSub, tFn, v.Clock().Now(), exchange)
+		h.recordSpan(rec, reqs[0].Fn, len(reqs), anyErr, t0, tGate, tSub, tFn, v.Clock().Now(), h.exch)
 	}
 	return nil
 }

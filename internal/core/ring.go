@@ -582,7 +582,7 @@ func (rc *RingCaller) Flush(v *cpu.VCPU) error {
 				clog.Event(obs.RingEvent{Trace: d.Trace, Kind: obs.EvDrain, Time: reqStart,
 					Guest: h.g.vm.Name(), Object: h.objName, Fn: d.Fn, Note: "gate-flush"})
 			}
-			ret, ferr := mgr.invoke(v, h, d.Fn, d.Args[:], exchp)
+			ret, ferr := mgr.invoke(v, h, d.Fn, d.Args, exchp)
 			if v.Dead() {
 				return ferr
 			}
