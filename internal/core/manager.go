@@ -172,6 +172,14 @@ type Manager struct {
 	ov          OverloadConfig
 	drainCursor int
 
+	// DrainRings worklist scratch, guarded by pollMu like drainCursor.
+	// The poller snapshots the live rings on every pass; reusing these
+	// slices keeps the steady-state pass allocation-free.
+	drainIDs     []int
+	drainVslots  []int
+	drainTargets []drainTarget
+	drainGroups  []drainGroup
+
 	// recovery-side accounting (see RecoveryStats).
 	recoveries    uint64 // RecoverGuest completions
 	midGateDeaths uint64 // recovered guests that died inside gate/sub ctx

@@ -117,6 +117,13 @@ type ringState struct {
 	// batch-size distribution across both drain sides.
 	batchMu sync.Mutex
 	batch   *stats.Histogram
+
+	// hostCtx is the reusable CallContext for poller-side dispatches of
+	// this ring. invokeHost only runs under drainMu, so steady state never
+	// allocates a context; hostCtxBusy routes the rare reentrant dispatch
+	// (a manager function draining through the same ring) to a heap one.
+	hostCtx     CallContext
+	hostCtxBusy bool
 }
 
 func (rs *ringState) recordBatch(n int) {
@@ -492,11 +499,11 @@ func (rc *RingCaller) Flush(v *cpu.VCPU) error {
 
 	rec := mgr.rec
 	var t0, tGate, tSub, tFn simtime.Time
-	var exchange simtime.Duration
 	var exchp *simtime.Duration
 	if rec != nil {
 		t0 = v.Clock().Now()
-		exchp = &exchange
+		h.exch = 0
+		exchp = &h.exch
 	}
 
 	phys, err := h.ensureBacked(v)
@@ -550,71 +557,18 @@ func (rc *RingCaller) Flush(v *cpu.VCPU) error {
 	rs.drainMu.Lock()
 	v.Charge(cost.LockAcquire)
 	var firstFn uint64
-	n := 0
-	drainBody := func() error {
-		// One cursor snapshot for the whole batch; per-descriptor work
-		// touches only record bytes. An early return on vCPU death
-		// abandons the transaction unpublished — the batch stays queued
-		// for the administrative failure path (transactional crashes).
-		txn, err := rc.ring.BeginDrain()
-		if err != nil {
-			return err
-		}
-		// Completion-queue backpressure: never pop a descriptor whose
-		// completion cannot be delivered.
-		for txn.CQFree() > 0 {
-			d, ok, err := txn.PopDesc()
-			if err != nil {
-				return err
-			}
-			if !ok {
-				break
-			}
-			if n == 0 {
-				firstFn = d.Fn
-			}
-			var reqStart simtime.Time
-			if rec != nil {
-				reqStart = v.Clock().Now()
-				clog := rec.Causal()
-				clog.Event(obs.RingEvent{Trace: d.Trace, Kind: obs.EvFlush, Time: tSub,
-					Guest: h.g.vm.Name(), Object: h.objName, Fn: d.Fn})
-				clog.Event(obs.RingEvent{Trace: d.Trace, Kind: obs.EvDrain, Time: reqStart,
-					Guest: h.g.vm.Name(), Object: h.objName, Fn: d.Fn, Note: "gate-flush"})
-			}
-			ret, ferr := mgr.invoke(v, h, d.Fn, d.Args, exchp)
-			if v.Dead() {
-				return ferr
-			}
-			comp := shm.Comp{Ret: ret, Status: shm.CompOK, Trace: d.Trace}
-			if ferr != nil {
-				comp.Status = shm.CompErr
-			}
-			if ok, err := txn.PushComp(comp); err != nil {
-				return err
-			} else if !ok {
-				return fmt.Errorf("core: ring %q/%q completion queue overflow", h.g.vm.Name(), h.objName)
-			}
-			if rec != nil {
-				rec.RecordLatency(h.g.vm.Name(), h.objName, d.Fn, v.Clock().Elapsed(reqStart))
-				note := ""
-				if ferr != nil {
-					note = "err"
-				}
-				rec.Causal().Event(obs.RingEvent{Trace: d.Trace, Kind: obs.EvComplete, Time: v.Clock().Now(),
-					Guest: h.g.vm.Name(), Object: h.objName, Fn: d.Fn, Note: note})
-			}
-			n++
-		}
-		return txn.Close()
-	}
+	var n int
 	var drainErr error
 	if rec != nil {
 		// Batch-granularity pprof label: the whole drain session is
 		// "service" in wall-clock profiles, matching the sim-time phase.
-		obs.WithPhase(obs.RingPhaseService.String(), func() { drainErr = drainBody() })
+		obs.WithPhase(obs.RingPhaseService.String(), func() {
+			firstFn, n, drainErr = rc.flushDrain(v, rec, tSub, exchp)
+		})
 	} else {
-		drainErr = drainBody()
+		// Direct call, no closure: the recorder-off path is the one the
+		// zero-alloc pins measure.
+		firstFn, n, drainErr = rc.flushDrain(v, nil, tSub, exchp)
 	}
 	v.Charge(cost.LockRelease)
 	rs.drainMu.Unlock()
@@ -650,10 +604,73 @@ func (rc *RingCaller) Flush(v *cpu.VCPU) error {
 	}
 	mgr.noteGateExit(h.g.vm.ID())
 	if rec != nil {
-		h.recordSpan(rec, firstFn, n, false, t0, tGate, tSub, tFn, v.Clock().Now(), exchange)
+		h.recordSpan(rec, firstFn, n, false, t0, tGate, tSub, tFn, v.Clock().Now(), h.exch)
 	}
 	rc.pending = 0
 	return nil
+}
+
+// flushDrain is Flush's in-sub-context drain session, a named method so
+// the recorder-off fast path calls it directly instead of through a
+// closure that would escape per flush. One cursor snapshot covers the
+// whole batch; per-descriptor work touches only record bytes. An early
+// return on vCPU death abandons the transaction unpublished — the batch
+// stays queued for the administrative failure path (transactional
+// crashes). Callers hold rs.drainMu.
+func (rc *RingCaller) flushDrain(v *cpu.VCPU, rec *obs.Recorder, tSub simtime.Time, exchp *simtime.Duration) (firstFn uint64, n int, err error) {
+	h := rc.h
+	mgr := h.g.mgr
+	txn, err := rc.ring.BeginDrain()
+	if err != nil {
+		return 0, 0, err
+	}
+	// Completion-queue backpressure: never pop a descriptor whose
+	// completion cannot be delivered.
+	for txn.CQFree() > 0 {
+		d, ok, perr := txn.PopDesc()
+		if perr != nil {
+			return firstFn, n, perr
+		}
+		if !ok {
+			break
+		}
+		if n == 0 {
+			firstFn = d.Fn
+		}
+		var reqStart simtime.Time
+		if rec != nil {
+			reqStart = v.Clock().Now()
+			clog := rec.Causal()
+			clog.Event(obs.RingEvent{Trace: d.Trace, Kind: obs.EvFlush, Time: tSub,
+				Guest: h.g.vm.Name(), Object: h.objName, Fn: d.Fn})
+			clog.Event(obs.RingEvent{Trace: d.Trace, Kind: obs.EvDrain, Time: reqStart,
+				Guest: h.g.vm.Name(), Object: h.objName, Fn: d.Fn, Note: "gate-flush"})
+		}
+		ret, ferr := mgr.invoke(v, h, d.Fn, d.Args, exchp)
+		if v.Dead() {
+			return firstFn, n, ferr
+		}
+		comp := shm.Comp{Ret: ret, Status: shm.CompOK, Trace: d.Trace}
+		if ferr != nil {
+			comp.Status = shm.CompErr
+		}
+		if ok, perr := txn.PushComp(comp); perr != nil {
+			return firstFn, n, perr
+		} else if !ok {
+			return firstFn, n, fmt.Errorf("core: ring %q/%q completion queue overflow", h.g.vm.Name(), h.objName)
+		}
+		if rec != nil {
+			rec.RecordLatency(h.g.vm.Name(), h.objName, d.Fn, v.Clock().Elapsed(reqStart))
+			note := ""
+			if ferr != nil {
+				note = "err"
+			}
+			rec.Causal().Event(obs.RingEvent{Trace: d.Trace, Kind: obs.EvComplete, Time: v.Clock().Now(),
+				Guest: h.g.vm.Name(), Object: h.objName, Fn: d.Fn, Note: note})
+		}
+		n++
+	}
+	return firstFn, n, txn.Close()
 }
 
 // Poll pops up to len(out) completions from the guest's default context —
@@ -772,13 +789,17 @@ func (rc *RingCaller) retryBusy(v *cpu.VCPU, ent retryEntry) (shm.Comp, bool, er
 
 // drainTarget is one live ring a DrainRings pass will service, and
 // drainGroup is one guest's rings plus its weighted-fair poll weight.
+// A group names its targets as a [start, end) range into the pass's
+// shared target list (see Manager.drainTargets) rather than holding its
+// own slice, so snapshotting a pass reuses one flat buffer instead of
+// allocating per guest.
 type drainTarget struct {
 	a  *Attachment
 	rs *ringState
 }
 type drainGroup struct {
-	weight  int
-	targets []drainTarget
+	weight     int
+	start, end int
 }
 
 // DrainRings is the manager-side poller: walk every live ring in
@@ -806,35 +827,41 @@ func (m *Manager) DrainRings(budget int) (int, error) {
 	defer m.pollMu.Unlock()
 
 	// Snapshot the live rings in (VM id, vslot) order, grouped by guest.
+	// The snapshot slices are pollMu-guarded scratch reused across passes:
+	// the poller runs on every scheduler tick, and rebuilding its worklist
+	// from fresh slices dominated the ring kernels' allocation profile.
 	m.mu.Lock()
-	ids := make([]int, 0, len(m.guests))
+	ids := m.drainIDs[:0]
 	for id := range m.guests {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
-	var groups []drainGroup
+	targets := m.drainTargets[:0]
+	groups := m.drainGroups[:0]
 	for _, id := range ids {
 		gs := m.guests[id]
-		vslots := make([]int, 0, len(gs.vslots))
+		vslots := m.drainVslots[:0]
 		for vs := range gs.vslots {
 			vslots = append(vslots, vs)
 		}
 		sort.Ints(vslots)
-		var targets []drainTarget
+		groupStart := len(targets)
 		for _, vs := range vslots {
 			a := gs.vslots[vs]
 			if a != nil && !a.revoked && a.ring != nil {
 				targets = append(targets, drainTarget{a, a.ring})
 			}
 		}
-		if len(targets) > 0 {
+		m.drainVslots = vslots[:0]
+		if len(targets) > groupStart {
 			w := gs.pollWeight
 			if w <= 0 {
 				w = 1
 			}
-			groups = append(groups, drainGroup{weight: w, targets: targets})
+			groups = append(groups, drainGroup{weight: w, start: groupStart, end: len(targets)})
 		}
 	}
+	m.drainIDs, m.drainTargets, m.drainGroups = ids, targets, groups
 	m.mu.Unlock()
 	if len(groups) == 0 {
 		return 0, nil
@@ -844,7 +871,7 @@ func (m *Manager) DrainRings(budget int) (int, error) {
 	if budget <= 0 {
 		total := 0
 		for _, g := range groups {
-			for _, t := range g.targets {
+			for _, t := range targets[g.start:g.end] {
 				n, err := m.drainRing(t.a, t.rs, -1)
 				total += n
 				if err != nil {
@@ -873,7 +900,7 @@ func (m *Manager) DrainRings(budget int) (int, error) {
 		if share > budget-total {
 			share = budget - total
 		}
-		n, err := m.drainRingGroup(g, share)
+		n, err := m.drainRingGroup(targets[g.start:g.end], share)
 		total += n
 		if err != nil {
 			return total, err
@@ -883,7 +910,7 @@ func (m *Manager) DrainRings(budget int) (int, error) {
 	// weighted fairness never idles the poller (work conservation).
 	for i := 0; i < len(groups) && total < budget; i++ {
 		g := groups[(start+i)%len(groups)]
-		n, err := m.drainRingGroup(g, budget-total)
+		n, err := m.drainRingGroup(targets[g.start:g.end], budget-total)
 		total += n
 		if err != nil {
 			return total, err
@@ -896,7 +923,7 @@ func (m *Manager) DrainRings(budget int) (int, error) {
 	if m.ov.Enabled && total >= budget {
 		for i := 0; i < len(groups); i++ {
 			g := groups[(start+i)%len(groups)]
-			for _, t := range g.targets {
+			for _, t := range targets[g.start:g.end] {
 				if err := m.trimRing(t.a, t.rs); err != nil {
 					return total, err
 				}
@@ -952,10 +979,11 @@ func (m *Manager) trimRing(a *Attachment, rs *ringState) error {
 }
 
 // drainRingGroup services up to limit descriptors across one guest's
-// rings, in vslot order. Callers hold pollMu.
-func (m *Manager) drainRingGroup(g drainGroup, limit int) (int, error) {
+// rings (its slice of the pass's target list), in vslot order. Callers
+// hold pollMu.
+func (m *Manager) drainRingGroup(targets []drainTarget, limit int) (int, error) {
 	total := 0
-	for _, t := range g.targets {
+	for _, t := range targets {
 		if total >= limit {
 			break
 		}
@@ -981,51 +1009,15 @@ func (m *Manager) drainRing(a *Attachment, rs *ringState, limit int) (int, error
 	if err != nil {
 		return 0, err
 	}
-	n := 0
-	drainBody := func() error {
-		for limit < 0 || n < limit {
-			if txn.CQFree() <= 0 {
-				break // completion backpressure: wait for the guest to poll
-			}
-			d, ok, err := txn.PopDesc()
-			if err != nil {
-				return err
-			}
-			if !ok {
-				break
-			}
-			if m.rec != nil {
-				m.rec.Causal().Event(obs.RingEvent{Trace: d.Trace, Kind: obs.EvDrain, Time: clk.Now(),
-					Guest: a.guest.Name(), Object: a.obj.name, Fn: d.Fn, Note: "poller"})
-			}
-			ret, ferr := m.invokeHost(a, rs, d.Fn, d.Args)
-			comp := shm.Comp{Ret: ret, Status: shm.CompOK, Trace: d.Trace}
-			if ferr != nil {
-				comp.Status = shm.CompErr
-			}
-			if ok, err := txn.PushComp(comp); err != nil {
-				return err
-			} else if !ok {
-				return fmt.Errorf("core: ring %q/%q completion queue overflow", a.guest.Name(), a.obj.name)
-			}
-			if m.rec != nil {
-				note := ""
-				if ferr != nil {
-					note = "err"
-				}
-				m.rec.Causal().Event(obs.RingEvent{Trace: d.Trace, Kind: obs.EvComplete, Time: clk.Now(),
-					Guest: a.guest.Name(), Object: a.obj.name, Fn: d.Fn, Note: note})
-			}
-			n++
-		}
-		return nil
-	}
+	var n int
 	var bodyErr error
 	if m.rec != nil {
 		// Batch-granularity pprof label, matching the gate-flush side.
-		obs.WithPhase(obs.RingPhaseService.String(), func() { bodyErr = drainBody() })
+		obs.WithPhase(obs.RingPhaseService.String(), func() { n, bodyErr = m.drainRingBody(a, rs, txn, limit) })
 	} else {
-		bodyErr = drainBody()
+		// Direct call, no closure: the recorder-off path is the one the
+		// zero-alloc pins measure.
+		n, bodyErr = m.drainRingBody(a, rs, txn, limit)
 	}
 	if bodyErr != nil {
 		return n, bodyErr
@@ -1038,6 +1030,51 @@ func (m *Manager) drainRing(a *Attachment, rs *ringState, limit int) (int, error
 		rs.drained.Add(uint64(n))
 		rs.recordBatch(n)
 		m.rec.RecordRingBatch(a.guest.Name(), a.obj.name, n)
+	}
+	return n, nil
+}
+
+// drainRingBody services up to limit descriptors (limit < 0: all queued)
+// within an open drain transaction — drainRing's loop, a named method so
+// the recorder-off fast path avoids an escaping closure. Callers hold
+// pollMu and rs.drainMu.
+func (m *Manager) drainRingBody(a *Attachment, rs *ringState, txn *shm.DrainTxn, limit int) (int, error) {
+	clk := m.vm.VCPU().Clock()
+	n := 0
+	for limit < 0 || n < limit {
+		if txn.CQFree() <= 0 {
+			break // completion backpressure: wait for the guest to poll
+		}
+		d, ok, err := txn.PopDesc()
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			break
+		}
+		if m.rec != nil {
+			m.rec.Causal().Event(obs.RingEvent{Trace: d.Trace, Kind: obs.EvDrain, Time: clk.Now(),
+				Guest: a.guest.Name(), Object: a.obj.name, Fn: d.Fn, Note: "poller"})
+		}
+		ret, ferr := m.invokeHost(a, rs, d.Fn, d.Args)
+		comp := shm.Comp{Ret: ret, Status: shm.CompOK, Trace: d.Trace}
+		if ferr != nil {
+			comp.Status = shm.CompErr
+		}
+		if ok, err := txn.PushComp(comp); err != nil {
+			return n, err
+		} else if !ok {
+			return n, fmt.Errorf("core: ring %q/%q completion queue overflow", a.guest.Name(), a.obj.name)
+		}
+		if m.rec != nil {
+			note := ""
+			if ferr != nil {
+				note = "err"
+			}
+			m.rec.Causal().Event(obs.RingEvent{Trace: d.Trace, Kind: obs.EvComplete, Time: clk.Now(),
+				Guest: a.guest.Name(), Object: a.obj.name, Fn: d.Fn, Note: note})
+		}
+		n++
 	}
 	return n, nil
 }
@@ -1056,13 +1093,18 @@ func (m *Manager) invokeHost(a *Attachment, rs *ringState, fnID uint64, args [4]
 		return 0, err
 	}
 	fn, ok := m.funcs[fnID]
-	ctx := &CallContext{
+	ctx := &rs.hostCtx
+	if rs.hostCtxBusy {
+		ctx = new(CallContext)
+	}
+	*ctx = CallContext{
 		VCPU:         m.vm.VCPU(),
 		Object:       rs.mgrObjGPA,
 		ObjectSize:   a.obj.size,
 		Exchange:     rs.mgrExchGPA,
 		ExchangeSize: a.exchange.Size(),
 		GuestID:      a.guest.ID(),
+		Args:         args,
 	}
 	m.mu.Unlock()
 	if !ok {
@@ -1070,8 +1112,14 @@ func (m *Manager) invokeHost(a *Attachment, rs *ringState, fnID uint64, args [4]
 		a.recordCall(err)
 		return 0, err
 	}
-	ctx.Args = args
+	scratch := ctx == &rs.hostCtx
+	if scratch {
+		rs.hostCtxBusy = true
+	}
 	ret, err := fn(ctx)
+	if scratch {
+		rs.hostCtxBusy = false
+	}
 	a.recordCall(err)
 	return ret, err
 }

@@ -54,6 +54,22 @@ type CallRing struct {
 	// reporting full/empty.
 	cSQHead uint64
 	cCQTail uint64
+
+	// Record scratch. Every push/pop serialises one record through a
+	// byte buffer before crossing the Window interface; a stack local
+	// would escape through that interface call and cost one heap
+	// allocation per data-plane operation. The instance-level scratch is
+	// safe for the same reason the cursor caches are: each CallRing
+	// instance is driven by one goroutine at a time (producer ownership
+	// contract, consumers serialised under the caller's drain lock), and
+	// each buffer's use begins and ends within a single call.
+	dbuf [descBytes]byte
+	cbuf [compBytes]byte
+
+	// txn is the reusable drain-session scratch handed out by BeginDrain.
+	// At most one transaction per instance is live at a time — the same
+	// serialisation contract that already governs consumers.
+	txn DrainTxn
 }
 
 // Desc is one submitted operation: a manager-function ID plus the four
@@ -259,7 +275,7 @@ func (r *CallRing) PushDesc(d Desc) (bool, error) {
 			return false, nil
 		}
 	}
-	var buf [descBytes]byte
+	buf := &r.dbuf
 	binary.LittleEndian.PutUint64(buf[0:], d.Fn)
 	for i, a := range d.Args {
 		binary.LittleEndian.PutUint64(buf[8+8*i:], a)
@@ -287,7 +303,7 @@ func (r *CallRing) PopDesc() (Desc, bool, error) {
 	if head == tail {
 		return d, false, nil
 	}
-	var buf [descBytes]byte
+	buf := &r.dbuf
 	if err := r.w.Read(r.descOff(head), buf[:]); err != nil {
 		return d, false, err
 	}
@@ -310,7 +326,7 @@ func (r *CallRing) PushComp(c Comp) (bool, error) {
 	if tail-head >= uint64(r.slots) {
 		return false, nil
 	}
-	var buf [compBytes]byte
+	buf := &r.cbuf
 	binary.LittleEndian.PutUint64(buf[0:], c.Ret)
 	binary.LittleEndian.PutUint64(buf[8:], c.Status)
 	binary.LittleEndian.PutUint64(buf[16:], c.Trace)
@@ -335,7 +351,7 @@ func (r *CallRing) PopComp() (Comp, bool, error) {
 			return c, false, nil
 		}
 	}
-	var buf [compBytes]byte
+	buf := &r.cbuf
 	if err := r.w.Read(r.compOff(r.ownCQHead), buf[:]); err != nil {
 		return c, false, err
 	}
@@ -376,8 +392,17 @@ type DrainTxn struct {
 // BeginDrain opens a consumer batch session, snapshotting the ring
 // cursors. The caller must hold whatever lock serialises consumers of
 // this ring and must Close the transaction to publish its progress.
+//
+// The returned transaction is this instance's reusable scratch: the
+// next BeginDrain on the same CallRing recycles it, so at most one
+// transaction per instance may be live at a time. That is not a new
+// restriction — consumers of a ring are already serialised under the
+// caller's drain lock, and a transaction never outlives its drain
+// session (an abandoned one is simply never Closed and publishes
+// nothing; the recycling reset discards its local cursors).
 func (r *CallRing) BeginDrain() (*DrainTxn, error) {
-	t := &DrainTxn{r: r}
+	t := &r.txn
+	*t = DrainTxn{r: r}
 	var err error
 	if t.sqHead, err = r.w.ReadU64(offSQHead); err != nil {
 		return nil, err
@@ -411,7 +436,7 @@ func (t *DrainTxn) PopDesc() (Desc, bool, error) {
 	if t.sqHead == t.sqTail {
 		return d, false, nil
 	}
-	var buf [descBytes]byte
+	buf := &t.r.dbuf
 	if err := t.r.w.Read(t.r.descOff(t.sqHead), buf[:]); err != nil {
 		return d, false, err
 	}
@@ -431,7 +456,7 @@ func (t *DrainTxn) PushComp(c Comp) (bool, error) {
 	if t.CQFree() <= 0 {
 		return false, nil
 	}
-	var buf [compBytes]byte
+	buf := &t.r.cbuf
 	binary.LittleEndian.PutUint64(buf[0:], c.Ret)
 	binary.LittleEndian.PutUint64(buf[8:], c.Status)
 	binary.LittleEndian.PutUint64(buf[16:], c.Trace)
