@@ -285,6 +285,10 @@ type Stats struct {
 	Imbalance float64
 }
 
+// Fleets returns the cluster fleets created on this cluster, in
+// creation order (for lane-executor metrics).
+func (c *Cluster) Fleets() []*Fleet { return c.fleets }
+
 // Stats snapshots every shard's live accounting plus the cluster-wide
 // imbalance ratio.
 func (c *Cluster) Stats() Stats {

@@ -78,6 +78,12 @@ type Fleet struct {
 	// schedulers hand the GlobalAdmit hook window-relative times).
 	global  map[string]*overload.TokenBucket
 	winBase simtime.Duration
+
+	// lane execution: live shards of the current window (scratch, rebuilt
+	// per window) and the cumulative lane-executor counters. Both are
+	// touched only between windows / from Run's goroutine, like elapsed.
+	liveLanes []int
+	lanes     fleet.LaneStats
 }
 
 // admission remembers where the i-th admitted tenant landed, so merged
@@ -220,13 +226,11 @@ func (f *Fleet) Run(d simtime.Duration) (*fleet.Report, error) {
 			step = rem
 		}
 		f.winBase = base + done
-		for _, s := range f.scheds {
-			if s == nil {
-				continue // fleet.Run errors on zero tenants; empty shards sit out
-			}
-			if _, err := s.Run(step); err != nil {
-				return nil, err
-			}
+		if err := f.runWindow(func(s *fleet.Scheduler) error {
+			_, err := s.Run(step)
+			return err
+		}); err != nil {
+			return nil, err
 		}
 		done += step
 		// The controller runs between windows, when every shard is
@@ -291,13 +295,11 @@ func (f *Fleet) Replay(tr *workload.Trace, d simtime.Duration) (*fleet.Report, e
 			next++
 		}
 		f.winBase = base + done
-		for shard, s := range f.scheds {
-			if s == nil {
-				continue // empty shards sit out, as in Run
-			}
-			if _, err := s.Replay(perShard[shard], step); err != nil {
-				return nil, err
-			}
+		if err := f.runWindowShards(func(shard int, s *fleet.Scheduler) error {
+			_, err := s.Replay(perShard[shard], step)
+			return err
+		}); err != nil {
+			return nil, err
 		}
 		done += step
 		if f.reb != nil {
@@ -309,6 +311,65 @@ func (f *Fleet) Replay(tr *workload.Trace, d simtime.Duration) (*fleet.Report, e
 	f.elapsed += d
 	return f.Snapshot(), nil
 }
+
+// runWindow advances every populated shard through one scheduling
+// window, fanning the advances out as parallel lanes when the config
+// allows (see runWindowShards).
+func (f *Fleet) runWindow(run func(*fleet.Scheduler) error) error {
+	return f.runWindowShards(func(_ int, s *fleet.Scheduler) error { return run(s) })
+}
+
+// runWindowShards is the window executor behind Run and Replay. Each
+// populated shard is one lane: an independent machine (own hypervisor,
+// manager, clock, RNGs) advancing by the same simulated step, with no
+// cross-shard reads during the window — f.winBase is set before the
+// fan-out and read-only within it. Lanes therefore commute, and
+// fleet.RunLanes merges them by shard order, so reports are
+// byte-identical at any Parallelism and any GOMAXPROCS.
+//
+// Two configurations do share order-sensitive state across shards:
+// cluster-wide admission buckets (f.global — every shard's GlobalAdmit
+// hook draws tokens from the same buckets) and a decision trace
+// (cfg.Decisions — every shard appends verdicts to one log). Those
+// windows are demoted to serial execution and counted as ForcedSerial;
+// correctness always wins over wall-clock.
+//
+// The rebalancer is unaffected: it ticks between windows, after the
+// lane barrier, when every shard is quiescent.
+func (f *Fleet) runWindowShards(run func(int, *fleet.Scheduler) error) error {
+	live := f.liveLanes[:0]
+	for i, s := range f.scheds {
+		if s != nil {
+			live = append(live, i) // fleet.Run errors on zero tenants; empty shards sit out
+		}
+	}
+	f.liveLanes = live
+	par := f.cfg.Parallelism
+	f.lanes.Parallelism = par
+	f.lanes.Windows++
+	f.lanes.LaneRuns += uint64(len(live))
+	if par > 1 && (f.global != nil || f.cfg.Decisions != nil) {
+		par = 1
+		f.lanes.ForcedSerial++
+	}
+	if par > len(live) {
+		par = len(live)
+	}
+	if par > 1 {
+		f.lanes.Parallel++
+	} else {
+		f.lanes.Sequential++
+	}
+	return fleet.RunLanes(par, len(live), func(lane int) error {
+		shard := live[lane]
+		return run(shard, f.scheds[shard])
+	})
+}
+
+// LaneStats returns the cumulative lane-executor counters: how many
+// scheduling windows ran, how many fanned out in parallel, and how many
+// were forced serial by shared admission or decision-trace state.
+func (f *Fleet) LaneStats() fleet.LaneStats { return f.lanes }
 
 // Snapshot merges the per-shard reports: tenants in global admission
 // order, chaos counters and shed tallies summed, Duration equal to the

@@ -127,6 +127,18 @@ type Config struct {
 	// placement. The hook must be deterministic for same-seed runs; nil
 	// (the default) keeps the ladder bit-identical to the unhooked fleet.
 	GlobalAdmit func(now simtime.Time, tenant string, class int) bool
+
+	// Parallelism bounds how many independent execution lanes a
+	// lane-structured runner may drive on concurrent host goroutines (see
+	// RunLanes; cluster.Fleet fans its per-window shard advances out this
+	// way). It is strictly a wall-clock knob: a lane is an independent
+	// simulated machine, lanes synchronise only at window barriers, and
+	// merges read lane results in a fixed order — so the same seed renders
+	// byte-identical reports at any Parallelism and any GOMAXPROCS. 0 or
+	// 1 keeps execution single-threaded. A single fleet.Scheduler ignores
+	// it: tenants on one shard share a manager and a simulated clock, so
+	// intra-shard parallelism would not be deterministic.
+	Parallelism int
 }
 
 // TenantSpec describes one tenant to admit.
@@ -222,6 +234,12 @@ type Tenant struct {
 	rr     int // round-robin cursor over handles
 	pass   uint64
 	stride uint64
+
+	// comps is harvestTenant's completion-poll scratch. A stack array
+	// would escape through the Poll call on every harvest; the tenant is
+	// only ever harvested by its own scheduler's event loop, so the
+	// instance-level buffer is single-writer.
+	comps [32]shm.Comp
 
 	queue     []pendingOp // pending ops in arrival order
 	submitted uint64
@@ -817,7 +835,7 @@ func (s *Scheduler) pumpBreakers(now simtime.Time) {
 func (s *Scheduler) harvestTenant(t *Tenant, now simtime.Time) simtime.Duration {
 	v := t.vm.VCPU()
 	c0 := v.Clock().Now()
-	var comps [32]shm.Comp
+	comps := &t.comps
 	for i, r := range t.rings {
 		for {
 			n, err := r.Poll(v, comps[:])

@@ -1,0 +1,102 @@
+// Lane execution: running independent simulated machines on parallel
+// host goroutines without giving up determinism.
+//
+// The fleet's determinism contract is that the same seed renders a
+// byte-identical report. Within one scheduler that forces a single
+// goroutine — tenants share a manager, a clock, and the stride
+// schedule, so any host-side interleaving would leak into simulated
+// state. Across schedulers the situation inverts: each shard of a
+// cluster fleet is a whole independent machine (own hypervisor, own
+// manager, own simulated clock, own seeded RNGs), and one scheduling
+// window advances every shard by the same simulated duration with no
+// cross-shard reads at all. Those window advances are "lanes": work
+// items that commute, so executing them on N goroutines and merging
+// results by lane index is observationally identical to executing them
+// in a loop. Wall-clock time drops with parallelism; simulated results
+// cannot move.
+package fleet
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// LaneStats counts lane-executor activity, for the elisa_fleet_lane_*
+// metrics. All counters are cumulative across a fleet's lifetime.
+type LaneStats struct {
+	// Parallelism is the configured lane cap (Config.Parallelism as the
+	// runner resolved it; 0 and 1 both mean serial).
+	Parallelism int
+	// Windows is the number of scheduling windows executed.
+	Windows uint64
+	// Parallel is how many of those windows fanned out to >1 concurrent
+	// lanes.
+	Parallel uint64
+	// Sequential is how many windows ran serially — either because
+	// Parallelism or the live-lane count was <= 1, or because shared
+	// order-sensitive state forced it (see ForcedSerial).
+	Sequential uint64
+	// ForcedSerial is how many windows had Parallelism > 1 but were
+	// demoted to serial execution because order-sensitive state is
+	// shared across lanes (cluster-wide admission buckets, a decision
+	// trace): running those concurrently would trade determinism for
+	// speed, so the runner refuses.
+	ForcedSerial uint64
+	// LaneRuns is the total number of individual lane executions.
+	LaneRuns uint64
+}
+
+// RunLanes executes fn(0), …, fn(n-1) using at most parallelism
+// concurrent goroutines and returns the lowest-index error (nil when
+// every lane succeeded).
+//
+// The determinism argument: each lane must touch only its own state
+// (the caller's contract — lanes are independent machines), so the
+// host-side execution order cannot influence any lane's result, and
+// the error merge reads results in lane order. The only observable
+// difference between parallelism 1 and N is that a serial run stops at
+// the first failing lane while a parallel run lets in-flight lanes
+// finish; since every caller abandons the whole run on error, that
+// difference never reaches a report.
+//
+// parallelism <= 1 (or n <= 1) runs the lanes inline with no
+// goroutines at all.
+func RunLanes(parallelism, n int, fn func(lane int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(parallelism)
+	for w := 0; w < parallelism; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

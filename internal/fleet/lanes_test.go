@@ -1,0 +1,61 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunLanesMatchesSerial: per-lane results are identical whether the
+// lanes run inline or across goroutines, and every lane runs exactly
+// once at any parallelism.
+func TestRunLanesMatchesSerial(t *testing.T) {
+	const n = 37
+	run := func(parallelism int) ([]int, uint64) {
+		out := make([]int, n)
+		var calls atomic.Uint64
+		if err := RunLanes(parallelism, n, func(lane int) error {
+			calls.Add(1)
+			out[lane] = lane * lane
+			return nil
+		}); err != nil {
+			t.Fatalf("RunLanes(%d): %v", parallelism, err)
+		}
+		return out, calls.Load()
+	}
+	serial, sc := run(1)
+	for _, p := range []int{2, 4, 64} {
+		parallel, pc := run(p)
+		if sc != n || pc != n {
+			t.Fatalf("lane ran wrong number of times: serial %d, parallelism %d ran %d", sc, p, pc)
+		}
+		if fmt.Sprint(serial) != fmt.Sprint(parallel) {
+			t.Fatalf("parallelism %d changed results: %v vs %v", p, serial, parallel)
+		}
+	}
+}
+
+// TestRunLanesErrorMerge: the error returned is the lowest-index lane's
+// error regardless of which goroutine failed first.
+func TestRunLanesErrorMerge(t *testing.T) {
+	errLow, errHigh := errors.New("lane 3"), errors.New("lane 30")
+	err := RunLanes(8, 40, func(lane int) error {
+		switch lane {
+		case 3:
+			return errLow
+		case 30:
+			return errHigh
+		}
+		return nil
+	})
+	if !errors.Is(err, errLow) {
+		t.Fatalf("want lane 3's error, got %v", err)
+	}
+	if err := RunLanes(8, 40, func(int) error { return nil }); err != nil {
+		t.Fatalf("clean run errored: %v", err)
+	}
+	if err := RunLanes(4, 0, func(int) error { t.Fatal("lane ran with n=0"); return nil }); err != nil {
+		t.Fatalf("empty run errored: %v", err)
+	}
+}

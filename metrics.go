@@ -273,6 +273,25 @@ func collectCluster(c *cluster.Cluster) obs.Collector {
 			Help: "Exit-less manager-function calls routed to each shard.", Type: obs.TypeCounter}
 		remaps := obs.Metric{Name: "elisa_cluster_slot_remaps_total",
 			Help: "HCSlotFault slot re-binds on each shard.", Type: obs.TypeCounter}
+		laneWindows := obs.Metric{Name: "elisa_fleet_lane_windows_total",
+			Help: "Scheduling windows executed by each cluster fleet's lane runner.", Type: obs.TypeCounter}
+		laneParallel := obs.Metric{Name: "elisa_fleet_lane_parallel_total",
+			Help: "Windows fanned out to >1 concurrent shard lanes.", Type: obs.TypeCounter}
+		laneForced := obs.Metric{Name: "elisa_fleet_lane_forced_serial_total",
+			Help: "Windows demoted to serial execution by shared order-sensitive state (global admission buckets, decision trace).", Type: obs.TypeCounter}
+		laneRuns := obs.Metric{Name: "elisa_fleet_lane_runs_total",
+			Help: "Individual shard-lane executions across all windows.", Type: obs.TypeCounter}
+		laneCap := obs.Metric{Name: "elisa_fleet_lane_parallelism",
+			Help: "Configured lane cap (FleetConfig.Parallelism; <=1 is serial).", Type: obs.TypeGauge}
+		for i, f := range c.Fleets() {
+			ls := f.LaneStats()
+			labels := map[string]string{"fleet": fmt.Sprintf("%d", i)}
+			laneWindows.Samples = append(laneWindows.Samples, obs.Sample{Labels: labels, Value: float64(ls.Windows)})
+			laneParallel.Samples = append(laneParallel.Samples, obs.Sample{Labels: labels, Value: float64(ls.Parallel)})
+			laneForced.Samples = append(laneForced.Samples, obs.Sample{Labels: labels, Value: float64(ls.ForcedSerial)})
+			laneRuns.Samples = append(laneRuns.Samples, obs.Sample{Labels: labels, Value: float64(ls.LaneRuns)})
+			laneCap.Samples = append(laneCap.Samples, obs.Sample{Labels: labels, Value: float64(ls.Parallelism)})
+		}
 		st := c.Stats()
 		for _, ss := range st.Shards {
 			labels := map[string]string{"shard": fmt.Sprintf("%d", ss.ID)}
@@ -284,6 +303,7 @@ func collectCluster(c *cluster.Cluster) obs.Collector {
 			remaps.Samples = append(remaps.Samples, obs.Sample{Labels: labels, Value: float64(ss.Remaps)})
 		}
 		return []obs.Metric{goodput, occupancy, objects, guests, calls, remaps,
+			laneWindows, laneParallel, laneForced, laneRuns, laneCap,
 			{Name: "elisa_cluster_shards", Help: "Manager shards in the cluster.", Type: obs.TypeGauge,
 				Samples: []obs.Sample{{Value: float64(c.NumShards())}}},
 			{Name: "elisa_cluster_imbalance_ratio",
