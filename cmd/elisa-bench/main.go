@@ -10,11 +10,14 @@
 //	elisa-bench -markdown all > results.md
 //	elisa-bench -quick -json            # append BENCH_<n>.json in .
 //	elisa-bench -quick -json -out B.json
+//	elisa-bench -quick -json -parallel 4  # lane fan-out for parallel_fleet
 //
 // The -json mode runs the internal/perfgate bench kernels (not the paper
 // experiments) and writes one snapshot: simulated ops/s per kernel plus
 // the simulator's own wall-clock ns per simulated second and allocations
-// per op. Compare snapshots with elisa-benchdiff.
+// per op. Compare snapshots with elisa-benchdiff. The -parallel flag
+// widens the parallel_fleet kernel's lane fan-out: its simulated figures
+// are byte-identical at any width, so only wall_ns_per_sim_sec moves.
 package main
 
 import (
@@ -35,6 +38,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "run the perfgate bench kernels and write a BENCH_<n>.json snapshot")
 		outPath  = flag.String("out", "", "with -json: exact snapshot path (default: next BENCH_<n>.json in -dir)")
 		dir      = flag.String("dir", ".", "with -json: directory holding the BENCH_<n>.json trajectory")
+		parallel = flag.Int("parallel", 0, "with -json: lane fan-out for the parallel_fleet kernel (0 = min(4, GOMAXPROCS)); simulated figures are identical at any width, only wall-clock moves")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] <experiment-id>... | all\n\nflags:\n", os.Args[0])
@@ -54,6 +58,9 @@ func main() {
 	}
 
 	if *jsonOut {
+		if *parallel > 0 {
+			perfgate.LaneParallelism = *parallel
+		}
 		if err := runBenchJSON(*quick, *outPath, *dir); err != nil {
 			fmt.Fprintf(os.Stderr, "elisa-bench: %v\n", err)
 			os.Exit(1)

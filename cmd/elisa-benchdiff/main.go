@@ -13,7 +13,10 @@
 // wall_ns_per_sim_sec swings with host load and hardware, so it is
 // recorded but ungated unless -wall-threshold is set above zero.
 // Improvements never fail the gate. Snapshots from different schema
-// versions or different -quick scales refuse to compare.
+// versions refuse to compare; snapshots from different -quick scales are
+// a usage error (exit 2) unless -allow-quick-mismatch explicitly opts
+// into the cross-scale comparison, and either way the scale mode is
+// recorded in the diff output.
 package main
 
 import (
@@ -36,6 +39,7 @@ func run(argv []string, stdout, stderr *os.File) int {
 		simThresh   = fs.Float64("sim-threshold", 0.02, "tolerated sim_ops_per_sec drop (fraction)")
 		wallThresh  = fs.Float64("wall-threshold", 0, "tolerated wall_ns_per_sim_sec growth (fraction); 0 (default) leaves wall time ungated")
 		allocThresh = fs.Float64("alloc-threshold", 0.25, "tolerated allocs_per_op growth (fraction)")
+		allowQuick  = fs.Bool("allow-quick-mismatch", false, "compare a quick snapshot against a full one anyway (op counts differ, so thresholds may not be meaningful)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: elisa-benchdiff [flags] <baseline.json> <current.json>\n\nflags:\n")
@@ -58,6 +62,24 @@ func run(argv []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stderr, "elisa-benchdiff: %v\n", err)
 		return 2
 	}
+	// Comparing a quick (CI-scale) snapshot against a full one is almost
+	// always a harness mistake — the op counts differ, so per-op figures
+	// shift for reasons that are not regressions. Without the escape
+	// hatch it is a usage error; with it, the mismatch is neutralised
+	// before Diff (which refuses mismatched scales itself) and the mode
+	// string below records what was actually compared.
+	mode := scaleName(base.Quick)
+	if base.Quick != cur.Quick {
+		if !*allowQuick {
+			fmt.Fprintf(stderr, "elisa-benchdiff: scale mismatch: baseline is %s, current is %s (rerun both at one scale, or pass -allow-quick-mismatch)\n",
+				scaleName(base.Quick), scaleName(cur.Quick))
+			return 2
+		}
+		mode = fmt.Sprintf("%s-baseline vs %s-current, mismatch allowed", scaleName(base.Quick), scaleName(cur.Quick))
+		forced := *cur
+		forced.Quick = base.Quick
+		cur = &forced
+	}
 	specs := perfgate.DefaultSpecs()
 	for i := range specs {
 		switch specs[i].Name {
@@ -75,13 +97,22 @@ func run(argv []string, stdout, stderr *os.File) int {
 		return 2
 	}
 	if len(regs) == 0 {
-		fmt.Fprintf(stdout, "elisa-benchdiff: %s vs %s: no regressions (%d kernels)\n",
-			fs.Arg(0), fs.Arg(1), len(base.Kernels))
+		fmt.Fprintf(stdout, "elisa-benchdiff: %s vs %s [%s]: no regressions (%d kernels)\n",
+			fs.Arg(0), fs.Arg(1), mode, len(base.Kernels))
 		return 0
 	}
-	fmt.Fprintf(stdout, "elisa-benchdiff: %d regression(s):\n", len(regs))
+	fmt.Fprintf(stdout, "elisa-benchdiff: %s vs %s [%s]: %d regression(s):\n",
+		fs.Arg(0), fs.Arg(1), mode, len(regs))
 	for _, r := range regs {
 		fmt.Fprintf(stdout, "  REGRESSION %s\n", r)
 	}
 	return 1
+}
+
+// scaleName names a snapshot's scale for mode reporting.
+func scaleName(quick bool) string {
+	if quick {
+		return "quick"
+	}
+	return "full"
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/elisa-go/elisa/internal/perfgate"
@@ -77,5 +78,71 @@ func TestBenchdiffUsageAndBadInput(t *testing.T) {
 	}
 	if code := run([]string{quick, full}, devnull, devnull); code != 2 {
 		t.Errorf("quick/full mismatch exited %d, want 2", code)
+	}
+}
+
+// capture runs benchdiff with stdout tee'd to a file and returns the
+// exit code plus everything it printed.
+func capture(t *testing.T, argv []string) (int, string) {
+	t.Helper()
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	code := run(argv, out, out)
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(data)
+}
+
+// A quick baseline against a full current snapshot is a usage error
+// (exit 2) unless -allow-quick-mismatch opts in, and the comparison mode
+// is recorded in the output either way.
+func TestBenchdiffQuickMismatchEscapeHatch(t *testing.T) {
+	dir := t.TempDir()
+	quick := snap(t, dir, "q.json", 5e6, 3)
+	full := filepath.Join(dir, "f.json")
+	b, err := perfgate.Read(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Quick = false
+	if err := perfgate.Write(full, b); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out := capture(t, []string{quick, full})
+	if code != 2 {
+		t.Errorf("mismatch without flag exited %d, want 2", code)
+	}
+	if !strings.Contains(out, "scale mismatch") || !strings.Contains(out, "-allow-quick-mismatch") {
+		t.Errorf("mismatch error does not name the escape hatch: %q", out)
+	}
+
+	code, out = capture(t, []string{"-allow-quick-mismatch", quick, full})
+	if code != 0 {
+		t.Errorf("identical figures with flag exited %d, want 0", code)
+	}
+	if !strings.Contains(out, "quick-baseline vs full-current, mismatch allowed") {
+		t.Errorf("allowed comparison does not record the mode: %q", out)
+	}
+
+	// The flag only waives the scale check, not the metric gates.
+	worse := filepath.Join(dir, "w.json")
+	b.Kernels[0].SimOpsPerSec *= 0.5
+	if err := perfgate.Write(worse, b); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := capture(t, []string{"-allow-quick-mismatch", quick, worse}); code != 1 {
+		t.Errorf("regression under allowed mismatch exited %d, want 1", code)
+	}
+
+	// A matched comparison records its scale too.
+	same := snap(t, dir, "q2.json", 5e6, 3)
+	if _, out := capture(t, []string{quick, same}); !strings.Contains(out, "[quick]") {
+		t.Errorf("matched comparison does not record the mode: %q", out)
 	}
 }

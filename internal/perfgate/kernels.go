@@ -17,16 +17,34 @@ import (
 
 // Kernel is one bench kernel: a deterministic simulated workload whose
 // op count and simulated elapsed time reproduce bit-for-bit run to run.
-// Measure wraps Run with the host-side wall-clock and allocation
-// counters.
+// Measure wraps the prepared body with the host-side wall-clock and
+// allocation counters.
 type Kernel struct {
 	// ID is the stable identifier Diff matches results by.
 	ID string
 	// Title is the human-readable description.
 	Title string
-	// Run executes the kernel at quick (CI) or full scale and returns
-	// the operation count and the simulated time those ops consumed.
-	Run func(quick bool) (ops int64, elapsed simtime.Duration, err error)
+	// Prepare builds the kernel's fixture (machines, guests, warm
+	// slots) at quick (CI) or full scale and returns the measured body,
+	// which executes the workload and reports the operation count and
+	// the simulated time those ops consumed. Measure's wall-clock and
+	// allocation window covers only the body, so allocs_per_op reads
+	// the steady-state per-op cost, not amortised fixture setup.
+	Prepare func(quick bool) (run func() (ops int64, elapsed simtime.Duration, err error), err error)
+}
+
+// LaneParallelism is the lane fan-out the parallel_fleet kernel hands to
+// its cluster fleet (elisa-bench -parallel overrides it). The simulated
+// figures are byte-identical at any setting — lanes only move the
+// simulator's own wall-clock — so snapshots taken at different widths
+// stay comparable on the gated metrics.
+var LaneParallelism = defaultLaneParallelism()
+
+func defaultLaneParallelism() int {
+	if n := runtime.GOMAXPROCS(0); n < 4 {
+		return n
+	}
+	return 4
 }
 
 // Manager function IDs the kernels register on their private fixtures.
@@ -89,160 +107,171 @@ func scale(quick bool, full, q int) int {
 	return full
 }
 
-// runCallRTT measures the steady-state per-call ELISA gate round trip.
-func runCallRTT(quick bool) (int64, simtime.Duration, error) {
+// prepareCallRTT measures the steady-state per-call ELISA gate round
+// trip.
+func prepareCallRTT(quick bool) (func() (int64, simtime.Duration, error), error) {
 	f, err := newKernelFixture()
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
 	v := f.vm.VCPU()
 	if _, err := f.h.Call(v, kfnNop); err != nil { // warm the slot
-		return 0, 0, err
+		return nil, err
 	}
 	ops := scale(quick, 10000, 500)
-	start := v.Clock().Now()
-	for i := 0; i < ops; i++ {
-		if _, err := f.h.Call(v, kfnNop); err != nil {
-			return 0, 0, err
+	return func() (int64, simtime.Duration, error) {
+		start := v.Clock().Now()
+		for i := 0; i < ops; i++ {
+			if _, err := f.h.Call(v, kfnNop); err != nil {
+				return 0, 0, err
+			}
 		}
-	}
-	return int64(ops), v.Clock().Elapsed(start), nil
+		return int64(ops), v.Clock().Elapsed(start), nil
+	}, nil
 }
 
-// runVMCallRTT measures the empty hypercall — the exit-ful baseline the
-// paper compares ELISA against.
-func runVMCallRTT(quick bool) (int64, simtime.Duration, error) {
+// prepareVMCallRTT measures the empty hypercall — the exit-ful baseline
+// the paper compares ELISA against.
+func prepareVMCallRTT(quick bool) (func() (int64, simtime.Duration, error), error) {
 	f, err := newKernelFixture()
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
 	const hcNop = 0xBE9C0012
 	if err := f.hv.RegisterHypercall(hcNop, func(*hv.VM, [4]uint64) (uint64, error) { return 0, nil }); err != nil {
-		return 0, 0, err
+		return nil, err
 	}
 	v := f.vm.VCPU()
 	ops := scale(quick, 10000, 500)
-	start := v.Clock().Now()
-	for i := 0; i < ops; i++ {
-		if _, err := v.VMCall(hcNop); err != nil {
-			return 0, 0, err
+	return func() (int64, simtime.Duration, error) {
+		start := v.Clock().Now()
+		for i := 0; i < ops; i++ {
+			if _, err := v.VMCall(hcNop); err != nil {
+				return 0, 0, err
+			}
 		}
-	}
-	return int64(ops), v.Clock().Elapsed(start), nil
+		return int64(ops), v.Clock().Elapsed(start), nil
+	}, nil
 }
 
-// runRingFlush measures the batched ring datapath: descriptors amortise
-// one gate crossing per 32-op batch through explicit flushes.
-func runRingFlush(quick bool) (int64, simtime.Duration, error) {
+// prepareRingFlush measures the batched ring datapath: descriptors
+// amortise one gate crossing per 32-op batch through explicit flushes.
+func prepareRingFlush(quick bool) (func() (int64, simtime.Duration, error), error) {
 	f, err := newKernelFixture()
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
 	v := f.vm.VCPU()
 	rc, err := f.h.Ring(v, core.RingConfig{Depth: 64, Deadline: simtime.Duration(1) << 40})
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
 	const batch = 32
 	batches := scale(quick, 256, 16)
 	comps := make([]shm.Comp, batch)
-	start := v.Clock().Now()
-	for b := 0; b < batches; b++ {
-		for i := 0; i < batch; i++ {
-			if err := rc.Submit(v, kfnNop, uint64(i)); err != nil {
+	return func() (int64, simtime.Duration, error) {
+		start := v.Clock().Now()
+		for b := 0; b < batches; b++ {
+			for i := 0; i < batch; i++ {
+				if err := rc.Submit(v, kfnNop, uint64(i)); err != nil {
+					return 0, 0, err
+				}
+			}
+			if err := rc.Flush(v); err != nil {
 				return 0, 0, err
 			}
-		}
-		if err := rc.Flush(v); err != nil {
-			return 0, 0, err
-		}
-		for rc.Pending() > 0 {
-			if _, err := rc.Poll(v, comps); err != nil {
-				return 0, 0, err
+			for rc.Pending() > 0 {
+				if _, err := rc.Poll(v, comps); err != nil {
+					return 0, 0, err
+				}
 			}
 		}
-	}
-	return int64(batch * batches), v.Clock().Elapsed(start), nil
+		return int64(batch * batches), v.Clock().Elapsed(start), nil
+	}, nil
 }
 
-// runRingPoller measures the fully exit-less datapath: the guest only
-// submits; the manager-side poller drains every batch.
-func runRingPoller(quick bool) (int64, simtime.Duration, error) {
+// prepareRingPoller measures the fully exit-less datapath: the guest
+// only submits; the manager-side poller drains every batch.
+func prepareRingPoller(quick bool) (func() (int64, simtime.Duration, error), error) {
 	f, err := newKernelFixture()
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
 	v := f.vm.VCPU()
 	rc, err := f.h.Ring(v, core.RingConfig{Depth: 64, Deadline: simtime.Duration(1) << 40})
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
 	const batch = 32
 	batches := scale(quick, 256, 16)
 	comps := make([]shm.Comp, batch)
-	start := v.Clock().Now()
-	for b := 0; b < batches; b++ {
-		for i := 0; i < batch; i++ {
-			if err := rc.Submit(v, kfnNop, uint64(i)); err != nil {
-				return 0, 0, err
+	return func() (int64, simtime.Duration, error) {
+		start := v.Clock().Now()
+		for b := 0; b < batches; b++ {
+			for i := 0; i < batch; i++ {
+				if err := rc.Submit(v, kfnNop, uint64(i)); err != nil {
+					return 0, 0, err
+				}
+			}
+			for rc.Pending() > 0 {
+				if _, err := f.mgr.DrainRings(batch); err != nil {
+					return 0, 0, err
+				}
+				if _, err := rc.Poll(v, comps); err != nil {
+					return 0, 0, err
+				}
 			}
 		}
-		for rc.Pending() > 0 {
-			if _, err := f.mgr.DrainRings(batch); err != nil {
-				return 0, 0, err
-			}
-			if _, err := rc.Poll(v, comps); err != nil {
-				return 0, 0, err
-			}
-		}
-	}
-	return int64(batch * batches), v.Clock().Elapsed(start), nil
+		return int64(batch * batches), v.Clock().Elapsed(start), nil
+	}, nil
 }
 
-// runExchangePut measures an exchange-buffer put plus the call that
+// prepareExchangePut measures an exchange-buffer put plus the call that
 // consumes it — the isolated data-passing path.
-func runExchangePut(quick bool) (int64, simtime.Duration, error) {
+func prepareExchangePut(quick bool) (func() (int64, simtime.Duration, error), error) {
 	f, err := newKernelFixture()
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
 	v := f.vm.VCPU()
-	var payload [64]byte
-	payload[0] = 1
 	ops := scale(quick, 5000, 250)
-	start := v.Clock().Now()
-	for i := 0; i < ops; i++ {
-		if err := f.h.ExchangeWrite(v, 0, payload[:]); err != nil {
-			return 0, 0, err
+	return func() (int64, simtime.Duration, error) {
+		var payload [64]byte
+		payload[0] = 1
+		start := v.Clock().Now()
+		for i := 0; i < ops; i++ {
+			if err := f.h.ExchangeWrite(v, 0, payload[:]); err != nil {
+				return 0, 0, err
+			}
+			if ret, err := f.h.Call(v, kfnEcho); err != nil {
+				return 0, 0, err
+			} else if ret != 1 {
+				return 0, 0, fmt.Errorf("perfgate: exchange echo returned %d", ret)
+			}
 		}
-		if ret, err := f.h.Call(v, kfnEcho); err != nil {
-			return 0, 0, err
-		} else if ret != 1 {
-			return 0, 0, fmt.Errorf("perfgate: exchange echo returned %d", ret)
-		}
-	}
-	return int64(ops), v.Clock().Elapsed(start), nil
+		return int64(ops), v.Clock().Elapsed(start), nil
+	}, nil
 }
 
-// runFleetMix measures the multi-tenant scheduler end to end: four
+// prepareFleetMix measures the multi-tenant scheduler end to end: four
 // tenants on two cores over the exit-less ring datapath with the
 // manager poller interleaved. Ops are completed operations; elapsed is
 // the fixed run horizon.
-func runFleetMix(quick bool) (int64, simtime.Duration, error) {
+func prepareFleetMix(quick bool) (func() (int64, simtime.Duration, error), error) {
 	h, err := hv.New(hv.Config{PhysBytes: 256 * 1024 * 1024})
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
 	mgr, err := core.NewManager(h, core.ManagerConfig{})
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
 	if err := mgr.RegisterFunc(kfnNop, func(*core.CallContext) (uint64, error) { return 0, nil }); err != nil {
-		return 0, 0, err
+		return nil, err
 	}
 	for i := 0; i < 4; i++ {
 		if _, err := mgr.CreateObject(fmt.Sprintf("mix-%d", i), mem.PageSize); err != nil {
-			return 0, 0, err
+			return nil, err
 		}
 	}
 	s, err := fleet.New(h, mgr, fleet.Config{
@@ -250,7 +279,7 @@ func runFleetMix(quick bool) (int64, simtime.Duration, error) {
 		RingDepth: 64, PollBudget: 64,
 	})
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
 	for i := 0; i < 4; i++ {
 		spec := fleet.TenantSpec{
@@ -261,104 +290,171 @@ func runFleetMix(quick bool) (int64, simtime.Duration, error) {
 			RateOPS: 2_000_000,
 		}
 		if _, err := s.Admit(spec); err != nil {
-			return 0, 0, err
+			return nil, err
 		}
 	}
 	horizon := simtime.Duration(scale(quick, 2_000_000, 300_000)) // 2ms / 300µs
-	rep, err := s.Run(horizon)
-	if err != nil {
-		return 0, 0, err
-	}
-	var done int64
-	for _, tr := range rep.Tenants {
-		done += int64(tr.Completed)
-	}
-	if done == 0 {
-		return 0, 0, fmt.Errorf("perfgate: fleet_mix completed nothing")
-	}
-	return done, rep.Duration, nil
+	return func() (int64, simtime.Duration, error) {
+		rep, err := s.Run(horizon)
+		if err != nil {
+			return 0, 0, err
+		}
+		var done int64
+		for _, tr := range rep.Tenants {
+			done += int64(tr.Completed)
+		}
+		if done == 0 {
+			return 0, 0, fmt.Errorf("perfgate: fleet_mix completed nothing")
+		}
+		return done, rep.Duration, nil
+	}, nil
 }
 
-// runClusterRoute measures the sharded control plane's datapaths: routed
-// single-shard calls (resolved once at attach, exit-less thereafter —
-// same 196 ns as an unsharded call) interleaved with cross-shard
-// CallMulti fan-outs over a 4-shard cluster (one gate crossing per
-// owning shard, merged deterministically). Ops count individual manager
-// calls; elapsed is the guest's summed simulated time across replicas.
-func runClusterRoute(quick bool) (int64, simtime.Duration, error) {
+// prepareParallelFleet measures the sharded fleet's lane executor: eight
+// tenants over a 4-shard cluster advancing in eight scheduling windows,
+// with per-shard lanes fanned out LaneParallelism wide. The simulated
+// figures are byte-identical at any parallelism; wall_ns_per_sim_sec is
+// the metric lanes move, and the trajectory tracks it. Ops are completed
+// operations; elapsed is the run horizon.
+func prepareParallelFleet(quick bool) (func() (int64, simtime.Duration, error), error) {
+	const shards = 4
+	c, err := cluster.New(cluster.Config{Shards: shards, Seed: 21, PhysBytes: 64 * 1024 * 1024})
+	if err != nil {
+		return nil, err
+	}
+	if err := c.RegisterFunc(kfnNop, func(*core.CallContext) (uint64, error) { return 0, nil }); err != nil {
+		return nil, err
+	}
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("lane-%d", i)
+		if err := c.Ring().Pin(name, i%shards); err != nil {
+			return nil, err
+		}
+		if _, err := c.CreateObject(name, mem.PageSize); err != nil {
+			return nil, err
+		}
+	}
+	horizon := simtime.Duration(scale(quick, 8_000_000, 1_600_000)) // 8ms / 1.6ms
+	f, err := c.NewFleet(cluster.FleetConfig{
+		Config: fleet.Config{
+			Cores: 2, Seed: 42, QueueDepth: 32, RingDepth: 32,
+			Parallelism: LaneParallelism,
+		},
+		Slice: horizon / 8,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 8; i++ {
+		spec := fleet.TenantSpec{
+			Name:    fmt.Sprintf("lane%d", i),
+			Objects: []string{fmt.Sprintf("lane-%d", i)},
+			Fn:      kfnNop,
+			RateOPS: 1_000_000,
+		}
+		if _, err := f.Admit(spec); err != nil {
+			return nil, err
+		}
+	}
+	return func() (int64, simtime.Duration, error) {
+		rep, err := f.Run(horizon)
+		if err != nil {
+			return 0, 0, err
+		}
+		var done int64
+		for _, tr := range rep.Tenants {
+			done += int64(tr.Completed)
+		}
+		if done == 0 {
+			return 0, 0, fmt.Errorf("perfgate: parallel_fleet completed nothing")
+		}
+		return done, rep.Duration, nil
+	}, nil
+}
+
+// prepareClusterRoute measures the sharded control plane's datapaths:
+// routed single-shard calls (resolved once at attach, exit-less
+// thereafter — same 196 ns as an unsharded call) interleaved with
+// cross-shard CallMulti fan-outs over a 4-shard cluster (one gate
+// crossing per owning shard, merged deterministically). Ops count
+// individual manager calls; elapsed is the guest's summed simulated
+// time across replicas.
+func prepareClusterRoute(quick bool) (func() (int64, simtime.Duration, error), error) {
 	const shards = 4
 	c, err := cluster.New(cluster.Config{Shards: shards, Seed: 7, PhysBytes: 32 * 1024 * 1024})
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
 	if err := c.RegisterFunc(kfnNop, func(*core.CallContext) (uint64, error) { return 0, nil }); err != nil {
-		return 0, 0, err
+		return nil, err
 	}
 	objs := make([]string, shards)
 	for i := range objs {
 		objs[i] = fmt.Sprintf("route-%d", i)
 		if err := c.Ring().Pin(objs[i], i); err != nil {
-			return 0, 0, err
+			return nil, err
 		}
 		if _, err := c.CreateObject(objs[i], mem.PageSize); err != nil {
-			return 0, 0, err
+			return nil, err
 		}
 	}
 	g, err := c.NewGuest("route-guest", 16*mem.PageSize)
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
 	handles := make([]*cluster.Handle, shards)
 	for i, name := range objs {
 		h, err := g.Attach(name) // routing slow path + warm slot, outside the window
 		if err != nil {
-			return 0, 0, err
+			return nil, err
 		}
 		if _, err := h.Call(kfnNop); err != nil {
-			return 0, 0, err
+			return nil, err
 		}
 		handles[i] = h
 	}
 	singles := scale(quick, 4000, 200)
 	batches := scale(quick, 500, 25)
-	start := g.Elapsed()
-	for i := 0; i < singles; i++ {
-		if _, err := handles[i%shards].Call(kfnNop); err != nil {
-			return 0, 0, err
-		}
-	}
 	reqs := make([]cluster.MultiReq, shards)
-	for b := 0; b < batches; b++ {
-		for i := range reqs {
-			reqs[i] = cluster.MultiReq{Object: objs[i], Fn: kfnNop}
-		}
-		if err := g.CallMulti(reqs); err != nil {
-			return 0, 0, err
-		}
-		for i := range reqs {
-			if reqs[i].Err != nil {
-				return 0, 0, reqs[i].Err
+	return func() (int64, simtime.Duration, error) {
+		start := g.Elapsed()
+		for i := 0; i < singles; i++ {
+			if _, err := handles[i%shards].Call(kfnNop); err != nil {
+				return 0, 0, err
 			}
 		}
-	}
-	return int64(singles + batches*shards), g.Elapsed() - start, nil
+		for b := 0; b < batches; b++ {
+			for i := range reqs {
+				reqs[i] = cluster.MultiReq{Object: objs[i], Fn: kfnNop}
+			}
+			if err := g.CallMulti(reqs); err != nil {
+				return 0, 0, err
+			}
+			for i := range reqs {
+				if reqs[i].Err != nil {
+					return 0, 0, reqs[i].Err
+				}
+			}
+		}
+		return int64(singles + batches*shards), g.Elapsed() - start, nil
+	}, nil
 }
 
-// runRebalanceConverge measures the auto-rebalancing control loop end to
-// end: the committed skewed trace (four tenants, every object pinned on
-// shard 0 of 4) replayed with the rebalancer armed, over the exit-less
-// ring datapath. Ops are completed operations; elapsed is the replay
-// horizon. The kernel errors if the controller never migrates — a bench
-// of the control plane has to exercise the control plane — and, at full
-// scale, if the final imbalance misses the convergence target.
-func runRebalanceConverge(quick bool) (int64, simtime.Duration, error) {
+// prepareRebalanceConverge measures the auto-rebalancing control loop
+// end to end: the committed skewed trace (four tenants, every object
+// pinned on shard 0 of 4) replayed with the rebalancer armed, over the
+// exit-less ring datapath. Ops are completed operations; elapsed is the
+// replay horizon. The kernel errors if the controller never migrates —
+// a bench of the control plane has to exercise the control plane — and,
+// at full scale, if the final imbalance misses the convergence target.
+func prepareRebalanceConverge(quick bool) (func() (int64, simtime.Duration, error), error) {
 	specs, err := workload.RebalanceSpecs()
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
 	tr, err := workload.RebalanceTrace()
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
 	horizon := workload.RebalanceHorizon
 	events := tr.Events
@@ -375,18 +471,18 @@ func runRebalanceConverge(quick bool) (int64, simtime.Duration, error) {
 	}
 	c, err := cluster.New(cluster.Config{Shards: 4, Seed: 11})
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
 	if err := c.RegisterFunc(workload.RebalanceFn, func(*core.CallContext) (uint64, error) { return 0, nil }); err != nil {
-		return 0, 0, err
+		return nil, err
 	}
 	for _, sp := range specs {
 		for _, obj := range sp.Objects {
 			if err := c.Ring().Pin(obj, 0); err != nil {
-				return 0, 0, err
+				return nil, err
 			}
 			if _, err := c.CreateObject(obj, mem.PageSize); err != nil {
-				return 0, 0, err
+				return nil, err
 			}
 		}
 	}
@@ -395,63 +491,73 @@ func runRebalanceConverge(quick bool) (int64, simtime.Duration, error) {
 		Rebalance: &cluster.RebalanceConfig{},
 	})
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
 	for _, sp := range specs {
 		ts, err := fleet.SpecFromWorkload(sp, 42)
 		if err != nil {
-			return 0, 0, err
+			return nil, err
 		}
 		if _, err := f.Admit(ts); err != nil {
-			return 0, 0, err
+			return nil, err
 		}
 	}
-	rep, err := f.Replay(&workload.Trace{Events: events}, horizon)
-	if err != nil {
-		return 0, 0, err
-	}
-	st := c.Stats()
-	if st.Rebalances == 0 {
-		return 0, 0, fmt.Errorf("perfgate: rebalance_converge executed no migrations")
-	}
-	if !quick && st.Imbalance > 1.25 {
-		return 0, 0, fmt.Errorf("perfgate: rebalance_converge finished at imbalance %.3f, want <= 1.25", st.Imbalance)
-	}
-	var done int64
-	for _, t := range rep.Tenants {
-		done += int64(t.Completed)
-	}
-	if done == 0 {
-		return 0, 0, fmt.Errorf("perfgate: rebalance_converge completed nothing")
-	}
-	return done, rep.Duration, nil
+	return func() (int64, simtime.Duration, error) {
+		rep, err := f.Replay(&workload.Trace{Events: events}, horizon)
+		if err != nil {
+			return 0, 0, err
+		}
+		st := c.Stats()
+		if st.Rebalances == 0 {
+			return 0, 0, fmt.Errorf("perfgate: rebalance_converge executed no migrations")
+		}
+		if !quick && st.Imbalance > 1.25 {
+			return 0, 0, fmt.Errorf("perfgate: rebalance_converge finished at imbalance %.3f, want <= 1.25", st.Imbalance)
+		}
+		var done int64
+		for _, t := range rep.Tenants {
+			done += int64(t.Completed)
+		}
+		if done == 0 {
+			return 0, 0, fmt.Errorf("perfgate: rebalance_converge completed nothing")
+		}
+		return done, rep.Duration, nil
+	}, nil
 }
 
 // Kernels returns the bench-kernel registry in snapshot order.
 func Kernels() []Kernel {
 	return []Kernel{
-		{ID: "call_rtt", Title: "ELISA gate call round trip (per-op path)", Run: runCallRTT},
-		{ID: "vmcall_rtt", Title: "VMCALL hypercall round trip (exit-ful baseline)", Run: runVMCallRTT},
-		{ID: "ring_flush", Title: "call ring, guest-flushed 32-op batches", Run: runRingFlush},
-		{ID: "ring_poller", Title: "call ring, manager-poller drained (exit-less)", Run: runRingPoller},
-		{ID: "exchange_put", Title: "exchange-buffer put + consuming call", Run: runExchangePut},
-		{ID: "fleet_mix", Title: "4-tenant fleet on 2 cores over rings", Run: runFleetMix},
-		{ID: "cluster_route", Title: "routed calls + 4-shard CallMulti fan-out", Run: runClusterRoute},
-		{ID: "rebalance_converge", Title: "auto-rebalancer convergence on the committed skewed trace", Run: runRebalanceConverge},
+		{ID: "call_rtt", Title: "ELISA gate call round trip (per-op path)", Prepare: prepareCallRTT},
+		{ID: "vmcall_rtt", Title: "VMCALL hypercall round trip (exit-ful baseline)", Prepare: prepareVMCallRTT},
+		{ID: "ring_flush", Title: "call ring, guest-flushed 32-op batches", Prepare: prepareRingFlush},
+		{ID: "ring_poller", Title: "call ring, manager-poller drained (exit-less)", Prepare: prepareRingPoller},
+		{ID: "exchange_put", Title: "exchange-buffer put + consuming call", Prepare: prepareExchangePut},
+		{ID: "fleet_mix", Title: "4-tenant fleet on 2 cores over rings", Prepare: prepareFleetMix},
+		{ID: "parallel_fleet", Title: "8-tenant 4-shard fleet through parallel lanes", Prepare: prepareParallelFleet},
+		{ID: "cluster_route", Title: "routed calls + 4-shard CallMulti fan-out", Prepare: prepareClusterRoute},
+		{ID: "rebalance_converge", Title: "auto-rebalancer convergence on the committed skewed trace", Prepare: prepareRebalanceConverge},
 	}
 }
 
-// Measure runs one kernel and derives its KernelResult: the simulated
-// figures come from the kernel's deterministic clock; wall time and
-// allocations come from one instrumented host run (testing.B-style
-// Mallocs-delta accounting around a single pass, which is exact for
-// fixed-op kernels and keeps CI time bounded).
+// Measure prepares one kernel, runs its body, and derives the
+// KernelResult: the simulated figures come from the kernel's
+// deterministic clock; wall time and allocations come from one
+// instrumented host run (testing.B-style Mallocs-delta accounting
+// around a single pass, which is exact for fixed-op kernels and keeps
+// CI time bounded). Fixture construction happens in Prepare, outside
+// the instrumented window, so allocs_per_op is the steady-state per-op
+// figure — a kernel whose hot path is allocation-free reads 0.0 here.
 func Measure(k Kernel, quick bool) (KernelResult, error) {
+	run, err := k.Prepare(quick)
+	if err != nil {
+		return KernelResult{}, fmt.Errorf("perfgate: kernel %s: %w", k.ID, err)
+	}
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	wallStart := time.Now()
-	ops, elapsed, err := k.Run(quick)
+	ops, elapsed, err := run()
 	wall := time.Since(wallStart)
 	runtime.ReadMemStats(&after)
 	if err != nil {
